@@ -1,0 +1,17 @@
+// E3 / Figure 7: active-time rate (share of wall time not spent waiting for
+// locks) in the random scenario with 80% reads. Variants as in the paper's
+// figure: (1)(3)(6)(8)(9)(10). 100% is best.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("Figure 7: active time, random 80% reads");
+  const auto env = harness::env_config();
+  bench::run_figure("Active time, random scenario 80% reads", "active %",
+                    harness::Scenario::kRandom, 80,
+                    bench::variant_set(env, {1, 3, 6, 8, 9, 10}),
+                    [](const harness::RunResult& r) {
+                      return r.active_time_percent;
+                    });
+  return 0;
+}

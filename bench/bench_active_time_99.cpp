@@ -1,0 +1,15 @@
+// E4 / Figure 8: active-time rate, random scenario with 99% reads.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("Figure 8: active time, random 99% reads");
+  const auto env = harness::env_config();
+  bench::run_figure("Active time, random scenario 99% reads", "active %",
+                    harness::Scenario::kRandom, 99,
+                    bench::variant_set(env, {1, 3, 6, 8, 9, 10}),
+                    [](const harness::RunResult& r) {
+                      return r.active_time_percent;
+                    });
+  return 0;
+}

@@ -1,0 +1,15 @@
+// E8 / Figure 12: active-time rate in the decremental scenario.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("Figure 12: active time, decremental");
+  const auto env = harness::env_config();
+  bench::run_figure("Active time, decremental scenario", "active %",
+                    harness::Scenario::kDecremental, 0,
+                    bench::variant_set(env, {1, 6, 9, 10}),
+                    [](const harness::RunResult& r) {
+                      return r.active_time_percent;
+                    });
+  return 0;
+}

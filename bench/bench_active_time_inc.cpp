@@ -1,0 +1,15 @@
+// E7 / Figure 11: active-time rate in the incremental scenario.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("Figure 11: active time, incremental");
+  const auto env = harness::env_config();
+  bench::run_figure("Active time, incremental scenario", "active %",
+                    harness::Scenario::kIncremental, 0,
+                    bench::variant_set(env, {1, 6, 9, 10}),
+                    [](const harness::RunResult& r) {
+                      return r.active_time_percent;
+                    });
+  return 0;
+}

@@ -1,0 +1,95 @@
+#pragma once
+
+// Shared scaffolding for the per-figure / per-table benchmark binaries.
+// Every binary honors the DC_BENCH_* environment knobs (see
+// harness::RunConfig): by default graphs are scaled-down stand-ins sized for
+// a laptop; DC_BENCH_FULL=1 selects paper-sized graphs and all variants.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/factory.hpp"
+#include "graph/cc.hpp"
+#include "graph/generators.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+namespace condyn::bench {
+
+inline std::vector<Graph> small_graphs(const harness::EnvConfig& env) {
+  std::vector<Graph> out;
+  for (const auto& p : gen::small_graph_presets())
+    out.push_back(p.make(env.full ? 1.0 : env.scale, env.seed));
+  return out;
+}
+
+inline std::vector<Graph> large_graphs(const harness::EnvConfig& env) {
+  std::vector<Graph> out;
+  if (!env.full) return out;  // paper-size only; hours on a laptop otherwise
+  for (const auto& p : gen::large_graph_presets())
+    out.push_back(p.make(1.0, env.seed));
+  return out;
+}
+
+inline std::vector<int> variant_set(const harness::EnvConfig& env,
+                                    std::vector<int> defaults) {
+  return env.variants.empty() ? std::move(defaults) : env.variants;
+}
+
+inline const char* variant_label(int id) {
+  for (const auto& v : all_variants())
+    if (v.id == id) return v.name;
+  return "?";
+}
+
+/// One throughput figure: scenario × graphs × variants × thread counts,
+/// printed as the paper's per-graph series. `value_of` picks the reported
+/// metric (throughput or active-time%).
+template <typename ValueFn>
+void run_figure(const std::string& title, const std::string& unit,
+                harness::Scenario scenario, int read_percent,
+                const std::vector<int>& variants, ValueFn&& value_of) {
+  const harness::EnvConfig env = harness::env_config();
+  harness::SeriesReport report(title, unit, env.thread_counts);
+
+  auto run_graph = [&](const Graph& g, bool sweep_threads) {
+    report.begin_graph(g.name + "  |V|=" + std::to_string(g.num_vertices()) +
+                       " |E|=" + std::to_string(g.num_edges()));
+    for (int id : variants) {
+      for (unsigned threads : env.thread_counts) {
+        if (!sweep_threads && threads != env.thread_counts.back()) continue;
+        auto dc = make_variant(id, g.num_vertices());
+        harness::RunConfig cfg;
+        cfg.threads = threads;
+        cfg.read_percent = read_percent;
+        cfg.seed = env.seed;
+        cfg.warmup_ms = env.warmup_ms;
+        cfg.measure_ms = env.measure_ms;
+        const harness::RunResult r =
+            harness::run_scenario(scenario, *dc, g, cfg);
+        report.add_point(variant_label(id), threads, value_of(r));
+      }
+    }
+  };
+
+  for (const Graph& g : small_graphs(env)) run_graph(g, true);
+  // Large graphs (Table 2): maximum thread count only, like the paper.
+  for (const Graph& g : large_graphs(env)) run_graph(g, false);
+  report.print();
+}
+
+inline void print_env_banner(const char* what) {
+  const harness::EnvConfig env = harness::env_config();
+  std::printf(
+      "# %s\n# scale=%.3f seed=%llu warmup=%dms measure=%dms full=%d\n"
+      "# (env knobs: DC_BENCH_SCALE/SEED/WARMUP/MILLIS/THREADS/VARIANTS/"
+      "FULL)\n\n",
+      what, env.full ? 1.0 : env.scale,
+      static_cast<unsigned long long>(env.seed), env.warmup_ms,
+      env.measure_ms, env.full ? 1 : 0);
+}
+
+}  // namespace condyn::bench

@@ -1,0 +1,14 @@
+// E6 / Figure 10: decremental scenario — threads erase every edge from a
+// structure pre-filled with the whole graph (replacement-search heavy).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("Figure 10: decremental scenario");
+  const auto env = harness::env_config();
+  bench::run_figure(
+      "Decremental scenario", "ops/ms", harness::Scenario::kDecremental, 0,
+      bench::variant_set(env, {1, 4, 6, 9, 10, 11, 13}),
+      [](const harness::RunResult& r) { return r.ops_per_ms; });
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Related-work ablation (§2): for the *incremental-only* problem, plain
+// union-find is the unbeatable specialist — this bench quantifies what the
+// fully-dynamic structures pay for supporting deletions, by running the
+// incremental scenario against a lock-protected DSU reference.
+//
+// (The DSU cannot express remove_edge at all; that asymmetry *is* the
+// point: dynamic connectivity's polylog machinery buys deletions.)
+#include <mutex>
+
+#include "bench_common.hpp"
+#include "graph/dsu.hpp"
+#include "util/spinlock.hpp"
+
+namespace {
+
+using namespace condyn;
+
+/// Minimal DynamicConnectivity facade over union-find: additions and
+/// queries only; removals abort (never issued by the incremental driver).
+class DsuDc final : public DynamicConnectivity {
+ public:
+  explicit DsuDc(Vertex n) : dsu_(n) {}
+
+  bool add_edge(Vertex u, Vertex v) override {
+    std::lock_guard<SpinLock> lk(mu_);
+    return dsu_.unite(u, v);
+  }
+  bool remove_edge(Vertex, Vertex) override {
+    std::abort();  // incremental-only structure
+  }
+  bool connected(Vertex u, Vertex v) override {
+    std::lock_guard<SpinLock> lk(mu_);
+    return dsu_.connected(u, v);
+  }
+  Vertex num_vertices() const override { return dsu_.num_vertices(); }
+  std::string name() const override { return "dsu (incremental-only)"; }
+
+ private:
+  Dsu dsu_;
+  SpinLock mu_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner(
+      "Incremental-only baseline: union-find vs dynamic connectivity");
+  const auto env = harness::env_config();
+  harness::SeriesReport report(
+      "Incremental scenario: DSU baseline vs fully-dynamic variants",
+      "ops/ms", env.thread_counts);
+
+  for (const Graph& g : bench::small_graphs(env)) {
+    report.begin_graph(g.name + "  |V|=" + std::to_string(g.num_vertices()) +
+                       " |E|=" + std::to_string(g.num_edges()));
+    for (unsigned threads : env.thread_counts) {
+      harness::RunConfig cfg;
+      cfg.threads = threads;
+      cfg.seed = env.seed;
+      {
+        DsuDc dsu(g.num_vertices());
+        const auto r = harness::run_incremental(dsu, g, cfg);
+        report.add_point("dsu (incremental-only)", threads, r.ops_per_ms);
+      }
+      for (int id : bench::variant_set(env, {1, 9, 13})) {
+        auto dc = make_variant(id, g.num_vertices());
+        const auto r = harness::run_incremental(*dc, g, cfg);
+        report.add_point(bench::variant_label(id), threads, r.ops_per_ms);
+      }
+    }
+  }
+  report.print();
+  return 0;
+}

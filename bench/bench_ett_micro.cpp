@@ -1,0 +1,111 @@
+// E13: google-benchmark micro-benchmarks of the single-writer ETT — the
+// latency of the primitives everything else is built from: find_root ascent,
+// lock-free connected (Listing 1), link (Fig. 2 atomic merge), cut (Fig. 3
+// atomic split), and the add/remove/query path of the full structure.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "api/factory.hpp"
+#include "core/ett.hpp"
+#include "core/hdt.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace condyn;
+
+void BM_EttLinkCut(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  ett::Forest f(n);
+  for (Vertex i = 0; i + 1 < n; ++i) f.link(i, i + 1);  // path
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const Vertex i = static_cast<Vertex>(rng.next_below(n - 1));
+    f.cut(i, i + 1);
+    f.link(i, i + 1);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EttLinkCut)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_EttConnectedSameTree(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  ett::Forest f(n);
+  for (Vertex i = 0; i + 1 < n; ++i) f.link(i, i + 1);
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    const Vertex a = static_cast<Vertex>(rng.next_below(n));
+    const Vertex b = static_cast<Vertex>(rng.next_below(n));
+    benchmark::DoNotOptimize(f.connected(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EttConnectedSameTree)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_EttConnectedCrossTree(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  ett::Forest f(n);
+  // Two halves, never connected: the query's negative path (5 find_roots).
+  for (Vertex i = 0; i + 1 < n / 2; ++i) f.link(i, i + 1);
+  for (Vertex i = n / 2; i + 1 < n; ++i) f.link(i, i + 1);
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const Vertex a = static_cast<Vertex>(rng.next_below(n / 2));
+    const Vertex b = n / 2 + static_cast<Vertex>(rng.next_below(n / 2));
+    benchmark::DoNotOptimize(f.connected(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EttConnectedCrossTree)->Arg(1 << 14);
+
+void BM_HdtUpdateChurn(benchmark::State& state) {
+  // Sequential HDT add/remove churn on an Erdős–Rényi graph: the writer-side
+  // cost the lock-based variants pay per update.
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  Graph g = gen::erdos_renyi(n, 4 * static_cast<std::size_t>(n), 7);
+  Hdt dc(n);
+  for (const Edge& e : g.edges()) dc.add_edge(e.u, e.v);
+  Xoshiro256 rng(4);
+  const auto& edges = g.edges();
+  for (auto _ : state) {
+    const Edge& e = edges[rng.next_below(edges.size())];
+    dc.remove_edge(e.u, e.v);
+    dc.add_edge(e.u, e.v);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_HdtUpdateChurn)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_VariantSingleThreadMix(benchmark::State& state) {
+  // Single-threaded 80%-read mix per variant: the baseline cost before any
+  // scaling effect (the paper notes non-blocking reads are not slower
+  // single-threaded).
+  const int id = static_cast<int>(state.range(0));
+  const Vertex n = 1 << 12;
+  Graph g = gen::erdos_renyi(n, 3 * static_cast<std::size_t>(n), 11);
+  auto dc = make_variant(id, n);
+  for (std::size_t i = 0; i < g.edges().size() / 2; ++i)
+    dc->add_edge(g.edges()[i].u, g.edges()[i].v);
+  Xoshiro256 rng(5);
+  const auto& edges = g.edges();
+  for (auto _ : state) {
+    const Edge& e = edges[rng.next_below(edges.size())];
+    const uint64_t roll = rng.next_below(100);
+    if (roll < 80) {
+      benchmark::DoNotOptimize(dc->connected(e.u, e.v));
+    } else if (roll % 2 == 0) {
+      dc->add_edge(e.u, e.v);
+    } else {
+      dc->remove_edge(e.u, e.v);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(condyn::all_variants()[id - 1].name);
+}
+BENCHMARK(BM_VariantSingleThreadMix)->DenseRange(1, 13);
+
+}  // namespace
+
+BENCHMARK_MAIN();

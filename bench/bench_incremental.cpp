@@ -1,0 +1,14 @@
+// E5 / Figure 9: incremental scenario — threads insert the whole graph into
+// an initially empty structure. Variants as in the paper's figure.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("Figure 9: incremental scenario");
+  const auto env = harness::env_config();
+  bench::run_figure(
+      "Incremental scenario", "ops/ms", harness::Scenario::kIncremental, 0,
+      bench::variant_set(env, {1, 4, 6, 9, 10, 11, 13}),
+      [](const harness::RunResult& r) { return r.ops_per_ms; });
+  return 0;
+}

@@ -1,0 +1,16 @@
+// E1 / Figure 5: random-subset scenario, 80% connectivity checks, 10% edge
+// additions, 10% edge removals. All 13 variants; small graphs swept over
+// thread counts, large graphs (DC_BENCH_FULL=1) at maximum parallelism.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("Figure 5: random scenario, 80% reads");
+  const auto env = harness::env_config();
+  bench::run_figure(
+      "Random scenario, 80% reads / 10% add / 10% remove", "ops/ms",
+      harness::Scenario::kRandom, 80,
+      bench::variant_set(env, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}),
+      [](const harness::RunResult& r) { return r.ops_per_ms; });
+  return 0;
+}

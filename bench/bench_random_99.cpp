@@ -1,0 +1,15 @@
+// E2 / Figure 6: random-subset scenario, 99% connectivity checks, 0.5%
+// additions, 0.5% removals — the read-dominated regime where the paper
+// reports up to 30x over coarse-grained locking.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("Figure 6: random scenario, 99% reads");
+  const auto env = harness::env_config();
+  bench::run_figure(
+      "Random scenario, 99% reads", "ops/ms", harness::Scenario::kRandom, 99,
+      bench::variant_set(env, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}),
+      [](const harness::RunResult& r) { return r.ops_per_ms; });
+  return 0;
+}

@@ -1,0 +1,40 @@
+// E12 / §5.3 "Lock-Free Reads": measures how many lock-free connectivity
+// checks succeed on their first attempt. The paper reports >99.99%, making
+// the reads "practically wait-free"; this bench verifies the same holds
+// here under maximum update pressure.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("Read retry rate (paper: >99.99% first-try)");
+  const auto env = harness::env_config();
+  harness::TableReport table(
+      "Lock-free read retries, random scenario, max threads",
+      {"graph", "read %", "reads", "retries", "first-try %"});
+
+  const unsigned threads = env.thread_counts.back();
+  for (const Graph& g : bench::small_graphs(env)) {
+    for (int read_pct : {80, 99}) {
+      auto dc = make_variant(9, g.num_vertices());
+      harness::RunConfig cfg;
+      cfg.threads = threads;
+      cfg.read_percent = read_pct;
+      cfg.seed = env.seed;
+      cfg.warmup_ms = env.warmup_ms;
+      cfg.measure_ms = env.measure_ms;
+      const harness::RunResult r = harness::run_random(*dc, g, cfg);
+      const auto& c = r.op_counters;
+      const double first_try =
+          c.reads ? 100.0 * (1.0 - static_cast<double>(c.read_retries) /
+                                       static_cast<double>(c.reads))
+                  : 100.0;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4f", first_try);
+      table.add_row({g.name, std::to_string(read_pct),
+                     std::to_string(c.reads), std::to_string(c.read_retries),
+                     buf});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// E14 / §5.2 "Sampling" ablation: the Iyer-et-al. random-sampling fast path
+// in the replacement search, on vs off, in the replacement-heavy decremental
+// scenario. The paper argues sampling matters even more concurrently since
+// it shortens the lock-holding time of spanning removals.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("Sampling ablation (decremental scenario)");
+  const auto env = harness::env_config();
+  harness::TableReport table(
+      "Replacement sampling ablation, decremental scenario",
+      {"graph", "variant", "threads", "ops/ms (sampling)", "ops/ms (off)",
+       "speedup"});
+
+  const unsigned threads = env.thread_counts.back();
+  for (const Graph& g : bench::small_graphs(env)) {
+    for (int id : bench::variant_set(env, {1, 9})) {
+      double with_s = 0, without_s = 0;
+      for (bool sampling : {true, false}) {
+        auto dc = make_variant(id, g.num_vertices(), sampling);
+        harness::RunConfig cfg;
+        cfg.threads = threads;
+        cfg.seed = env.seed;
+        const harness::RunResult r = harness::run_decremental(*dc, g, cfg);
+        (sampling ? with_s : without_s) = r.ops_per_ms;
+      }
+      table.add_row({g.name, bench::variant_label(id),
+                     std::to_string(threads),
+                     harness::TableReport::num(with_s),
+                     harness::TableReport::num(without_s),
+                     harness::TableReport::num(
+                         without_s > 0 ? with_s / without_s : 0)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// E10 / Table 4: incremental / decremental statistics on the sequential
+// workload — the share of operations that touch only non-spanning edges.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("Table 4: incremental/decremental statistics");
+  const auto env = harness::env_config();
+  harness::TableReport table(
+      "Incremental / decremental statistics (sequential workload)",
+      {"graph", "% non-spanning additions", "% non-spanning removals"});
+
+  for (const Graph& g : bench::small_graphs(env)) {
+    harness::RunConfig cfg;
+    cfg.threads = 1;
+    cfg.seed = env.seed;
+
+    auto inc = make_variant(9, g.num_vertices());
+    const auto ri = harness::run_incremental(*inc, g, cfg);
+    const auto& ci = ri.op_counters;
+    const double add_pct =
+        ci.additions ? 100.0 * ci.nonspanning_additions / ci.additions : 0;
+
+    auto dec = make_variant(9, g.num_vertices());
+    const auto rd = harness::run_decremental(*dec, g, cfg);
+    const auto& cd = rd.op_counters;
+    const double rem_pct =
+        cd.removals ? 100.0 * cd.nonspanning_removals / cd.removals : 0;
+
+    table.add_row({g.name, harness::TableReport::pct(add_pct),
+                   harness::TableReport::pct(rem_pct)});
+  }
+  table.print();
+  return 0;
+}

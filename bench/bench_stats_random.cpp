@@ -1,0 +1,40 @@
+// E9 / Table 3: random-scenario statistics on the sequential workload —
+// rates of non-spanning additions/removals and the largest connected
+// component (share of |V|). Dense graphs must show >90% non-spanning
+// additions; road/sparse graphs near zero (the premise behind §4.4).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("Table 3: random scenario statistics");
+  const auto env = harness::env_config();
+  harness::TableReport table(
+      "Random scenario statistics (sequential workload)",
+      {"graph", "% non-span. additions", "% non-span. removals",
+       "largest component, %"});
+
+  for (const Graph& g : bench::small_graphs(env)) {
+    auto dc = make_variant(9, g.num_vertices());
+    harness::RunConfig cfg;
+    cfg.threads = 1;
+    cfg.read_percent = 0;  // updates only: add/remove 50/50
+    cfg.seed = env.seed;
+    cfg.warmup_ms = 0;
+    cfg.measure_ms = env.measure_ms;
+    const harness::RunResult r = harness::run_random(*dc, g, cfg);
+    const auto& c = r.op_counters;
+    const double add_pct =
+        c.additions ? 100.0 * c.nonspanning_additions / c.additions : 0;
+    const double rem_pct =
+        c.removals ? 100.0 * c.nonspanning_removals / c.removals : 0;
+    // Largest component of the steady state (half the graph present).
+    const ComponentInfo cc = connected_components(
+        g.num_vertices(), harness::random_half(g, env.seed));
+    const double largest = 100.0 * cc.largest_component / g.num_vertices();
+    table.add_row({g.name, harness::TableReport::pct(add_pct),
+                   harness::TableReport::pct(rem_pct),
+                   harness::TableReport::pct(largest)});
+  }
+  table.print();
+  return 0;
+}

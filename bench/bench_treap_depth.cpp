@@ -1,0 +1,87 @@
+// §3 complexity ablation: the Cartesian tree gives *expected* O(log N)
+// bounds ("the main issue with the Cartesian trees is that their time
+// complexity is expected due to randomization" — the motivation for the
+// paper's B-tree discussion). This bench quantifies the practical gap:
+// the distribution of find_root ascent lengths — the exact cost of the
+// lock-free read path — against log2 of the component size, across sizes
+// and shapes.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <cstdio>
+#include <vector>
+
+#include "core/ett.hpp"
+#include "graph/generators.hpp"
+#include "harness/report.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace condyn;
+
+std::size_t ascent_length(const ett::Node* n) {
+  std::size_t hops = 0;
+  for (const ett::Node* cur = n;
+       cur->parent.load(std::memory_order_relaxed) != nullptr;
+       cur = cur->parent.load(std::memory_order_relaxed)) {
+    ++hops;
+  }
+  return hops;
+}
+
+void measure(const char* shape, ett::Forest& f, Vertex n,
+             harness::TableReport& table) {
+  std::vector<std::size_t> depths;
+  depths.reserve(n);
+  for (Vertex v = 0; v < n; ++v)
+    depths.push_back(ascent_length(f.vertex_node(v)));
+  std::sort(depths.begin(), depths.end());
+  const double avg =
+      static_cast<double>(
+          std::accumulate(depths.begin(), depths.end(), std::size_t{0})) /
+      depths.size();
+  const double lg = std::log2(static_cast<double>(n));
+  char ratio[32];
+  std::snprintf(ratio, sizeof(ratio), "%.2f", avg / lg);
+  table.add_row({shape, std::to_string(n), harness::TableReport::num(avg),
+                 std::to_string(depths[depths.size() / 2]),
+                 std::to_string(depths[depths.size() * 99 / 100]),
+                 std::to_string(depths.back()),
+                 harness::TableReport::num(lg), ratio});
+}
+
+}  // namespace
+
+int main() {
+  using namespace condyn;
+  std::printf(
+      "# Treap depth ablation (§3): find_root ascent length vs log2(n).\n"
+      "# Expected-case randomized balance is what the B-tree alternative\n"
+      "# would make deterministic; the avg/log2 ratio shows the constant.\n\n");
+  harness::TableReport table(
+      "find_root ascent length (tour-node hops to the root)",
+      {"shape", "n", "avg", "p50", "p99", "max", "log2(n)", "avg/log2"});
+
+  for (Vertex n : {Vertex{1} << 10, Vertex{1} << 14, Vertex{1} << 17}) {
+    {
+      ett::Forest f(n);  // path: the adversarial insertion order
+      for (Vertex i = 0; i + 1 < n; ++i) f.link(i, i + 1);
+      measure("path", f, n, table);
+    }
+    {
+      ett::Forest f(n);  // star: max-degree hub
+      for (Vertex i = 1; i < n; ++i) f.link(0, i);
+      measure("star", f, n, table);
+    }
+    {
+      ett::Forest f(n);  // random spanning tree
+      Xoshiro256 rng(5);
+      for (Vertex i = 1; i < n; ++i)
+        f.link(static_cast<Vertex>(rng.next_below(i)), i);
+      measure("random-tree", f, n, table);
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Interactive driver: a small command-line REPL over the library, handy for
+// exploring the structure's behaviour and for scripted integration checks.
+//
+// Usage:
+//   ./build/examples/interactive [variant] [num_vertices]   (defaults: full 1024)
+//
+// Commands (one per line; '#' starts a comment):
+//   add u v          insert edge
+//   rm u v           erase edge
+//   conn u v         print whether u and v are connected
+//   load path        insert every edge of a SNAP/DIMACS file
+//   stats            operation counters of this session
+//   help             this text
+//   quit
+//
+// Example session:
+//   $ printf 'add 0 1\nadd 1 2\nconn 0 2\nrm 1 2\nconn 0 2\n' |
+//       ./build/examples/interactive
+//   conn 0 2 -> yes
+//   conn 0 2 -> no
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "api/factory.hpp"
+#include "core/stats.hpp"
+#include "graph/io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace condyn;
+  const std::string variant = argc > 1 ? argv[1] : "full";
+  const Vertex n = argc > 2 ? static_cast<Vertex>(std::stoul(argv[2])) : 1024;
+
+  std::unique_ptr<DynamicConnectivity> dc;
+  try {
+    dc = make_variant(variant, n);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "condyn interactive: variant=%s n=%u (help for help)\n",
+               dc->name().c_str(), n);
+
+  op_stats::reset_local();
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf(
+          "add u v | rm u v | conn u v | load path | stats | quit\n");
+      continue;
+    }
+    if (cmd == "stats") {
+      const auto& c = op_stats::local();
+      std::printf(
+          "reads=%llu retries=%llu additions=%llu (non-spanning %llu) "
+          "removals=%llu (non-spanning %llu) lock-free updates=%llu\n",
+          (unsigned long long)c.reads, (unsigned long long)c.read_retries,
+          (unsigned long long)c.additions,
+          (unsigned long long)c.nonspanning_additions,
+          (unsigned long long)c.removals,
+          (unsigned long long)c.nonspanning_removals,
+          (unsigned long long)c.nonblocking_updates);
+      continue;
+    }
+    if (cmd == "load") {
+      std::string path;
+      in >> path;
+      try {
+        const Graph g = io::load_auto(path);
+        if (g.num_vertices() > n) {
+          std::printf("error: graph has %u vertices, structure holds %u\n",
+                      g.num_vertices(), n);
+          continue;
+        }
+        std::size_t added = 0;
+        for (const Edge& e : g.edges())
+          if (dc->add_edge(e.u, e.v)) ++added;
+        std::printf("loaded %zu edges from %s\n", added, path.c_str());
+      } catch (const std::exception& e) {
+        std::printf("error: %s\n", e.what());
+      }
+      continue;
+    }
+    Vertex u = 0, v = 0;
+    if (!(in >> u >> v) || u >= n || v >= n) {
+      std::printf("error: expected two vertex ids < %u (got \"%s\")\n", n,
+                  line.c_str());
+      continue;
+    }
+    if (cmd == "add") {
+      dc->add_edge(u, v);
+    } else if (cmd == "rm") {
+      dc->remove_edge(u, v);
+    } else if (cmd == "conn") {
+      std::printf("conn %u %u -> %s\n", u, v,
+                  dc->connected(u, v) ? "yes" : "no");
+    } else {
+      std::printf("error: unknown command \"%s\"\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

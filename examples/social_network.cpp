@@ -1,0 +1,83 @@
+// Social-network scenario (the paper's motivating workload): a heavy-tailed
+// friendship graph serving a read-dominated mix — "are these two users in
+// the same community?" — while followers churn in the background.
+//
+// Demonstrates why the paper's design wins here: with ~99% connectivity
+// queries running lock-free and ~95% of the updates touching non-spanning
+// edges (dense graph!), almost nothing ever takes a lock. The example
+// reports the measured lock-free share alongside the throughput.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "api/factory.hpp"
+#include "core/stats.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+int main() {
+  using namespace condyn;
+
+  // An RMAT graph with Twitter-like degree skew: 4k users, 50k friendships.
+  Graph g = gen::rmat(1 << 12, 50000, 0.57, 0.19, 0.19, /*seed=*/2026);
+  g.name = "social";
+  std::printf("social graph: %u users, %zu friendships, avg degree %.1f\n",
+              g.num_vertices(), g.num_edges(), g.density());
+
+  auto dc = make_variant("full", g.num_vertices());
+  for (const Edge& e : g.edges()) dc->add_edge(e.u, e.v);
+
+  const unsigned query_threads = 3;
+  const unsigned churn_threads = 1;
+  const int seconds_ms = 1000;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> updates{0};
+  std::atomic<uint64_t> nonblocking{0};
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < query_threads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(100 + t);
+      uint64_t mine = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const Vertex a = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+        const Vertex b = static_cast<Vertex>(rng.next_below(g.num_vertices()));
+        dc->connected(a, b);
+        ++mine;
+      }
+      queries.fetch_add(mine);
+    });
+  }
+  for (unsigned t = 0; t < churn_threads; ++t) {
+    threads.emplace_back([&, t] {
+      op_stats::reset_local();
+      Xoshiro256 rng(200 + t);
+      uint64_t mine = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const Edge& e = g.edges()[rng.next_below(g.num_edges())];
+        const bool applied = rng.next_below(2) == 0
+                                 ? dc->remove_edge(e.u, e.v)
+                                 : dc->add_edge(e.u, e.v);
+        if (applied) ++mine;
+      }
+      updates.fetch_add(mine);
+      nonblocking.fetch_add(op_stats::local().nonblocking_updates);
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(seconds_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  std::printf("in %.1fs: %llu lock-free queries, %llu applied updates\n",
+              seconds_ms / 1000.0,
+              static_cast<unsigned long long>(queries.load()),
+              static_cast<unsigned long long>(updates.load()));
+  std::printf("updates completed without any lock: %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(nonblocking.load()),
+              updates.load() ? 100.0 * nonblocking.load() / updates.load()
+                             : 0.0);
+  return 0;
+}

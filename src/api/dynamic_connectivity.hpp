@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace condyn {
+
+/// The public interface every algorithm variant implements — the three
+/// operations of the dynamic connectivity problem (paper §1):
+///   addEdge(u,v), removeEdge(u,v), connected(u,v).
+/// All implementations in this library are linearizable and safe for
+/// arbitrary concurrent use of all three operations.
+class DynamicConnectivity {
+ public:
+  virtual ~DynamicConnectivity() = default;
+
+  /// Insert the undirected edge (u,v). Returns false if it was present.
+  virtual bool add_edge(Vertex u, Vertex v) = 0;
+
+  /// Erase the undirected edge (u,v). Returns false if it was absent.
+  virtual bool remove_edge(Vertex u, Vertex v) = 0;
+
+  /// Are u and v in the same connected component?
+  virtual bool connected(Vertex u, Vertex v) = 0;
+
+  virtual Vertex num_vertices() const = 0;
+
+  /// Stable identifier used in benchmark tables (matches DESIGN.md §1).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace condyn

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/dynamic_connectivity.hpp"
+
+namespace condyn {
+
+/// One evaluated algorithm combination (paper §5.2; numbering kept
+/// consistent with the plots and with DESIGN.md §1).
+struct VariantInfo {
+  int id;            ///< 1..13, the paper's numbering
+  const char* name;  ///< stable identifier used in tables ("coarse", ...)
+  const char* description;
+};
+
+/// All 13 variants, in paper order.
+const std::vector<VariantInfo>& all_variants();
+
+/// Construct variant `id` (1..13) for an n-vertex graph. `sampling` toggles
+/// the Iyer-et-al. replacement-sampling heuristic (on for every variant in
+/// the paper's experiments; the ablation bench turns it off).
+std::unique_ptr<DynamicConnectivity> make_variant(int id, Vertex n,
+                                                  bool sampling = true);
+
+/// Construct by stable name; throws std::invalid_argument on unknown names.
+std::unique_ptr<DynamicConnectivity> make_variant(const std::string& name,
+                                                  Vertex n,
+                                                  bool sampling = true);
+
+}  // namespace condyn

@@ -1,0 +1,72 @@
+#include "combining/flat_combining.hpp"
+
+#include "util/lock_stats.hpp"
+
+namespace condyn {
+
+using combining::kDone;
+using combining::kEmpty;
+using combining::kPending;
+using combining::OpType;
+using combining::Slot;
+
+FlatCombiningDc::FlatCombiningDc(Vertex n, std::string name, bool sampling)
+    : hdt_(n, sampling), name_(std::move(name)) {}
+
+void FlatCombiningDc::combine() {
+  // Two scan rounds per acquisition: the second pass picks up operations
+  // published while the first was running, improving batching.
+  for (int round = 0; round < 2; ++round) {
+    const unsigned active = slots_.active_size();
+  for (unsigned i = 0; i < active; ++i) {
+      Slot& s = slots_.at(i);
+      if (s.state.load(std::memory_order_seq_cst) != kPending) continue;
+      switch (s.type) {
+        case OpType::kAdd:
+          s.result = hdt_.add_edge(s.u, s.v).performed;
+          break;
+        case OpType::kRemove:
+          s.result = hdt_.remove_edge(s.u, s.v).performed;
+          break;
+        case OpType::kConnected:
+          s.result = hdt_.connected_writer(s.u, s.v);
+          break;
+        case OpType::kNone:
+          break;
+      }
+      s.state.store(kDone, std::memory_order_seq_cst);
+    }
+  }
+}
+
+bool FlatCombiningDc::submit(OpType type, Vertex u, Vertex v) {
+  Slot& s = slots_.mine();
+  s.type = type;
+  s.u = u;
+  s.v = v;
+  s.state.store(kPending, std::memory_order_seq_cst);
+
+  const uint64_t t0 = lock_stats::now_ns();
+  uint64_t combining_ns = 0;
+  Backoff backoff;
+  for (;;) {
+    if (s.state.load(std::memory_order_seq_cst) == kDone) break;
+    if (combiner_lock_.try_lock()) {
+      const uint64_t c0 = lock_stats::now_ns();
+      combine();
+      combiner_lock_.unlock();
+      combining_ns += lock_stats::now_ns() - c0;
+      continue;  // our own op was executed by the scan
+    }
+    backoff.pause();
+  }
+  s.state.store(kEmpty, std::memory_order_seq_cst);
+  // Active-time accounting: time spent parked behind the combiner (minus our
+  // own useful combining work) is "waiting for the lock".
+  const uint64_t total = lock_stats::now_ns() - t0;
+  if (total > combining_ns) lock_stats::add_wait(total - combining_ns);
+  lock_stats::add_acquisition(true);
+  return s.result;
+}
+
+}  // namespace condyn

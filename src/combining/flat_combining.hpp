@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+
+#include "api/dynamic_connectivity.hpp"
+#include "combining/combining_core.hpp"
+#include "core/hdt.hpp"
+
+namespace condyn {
+
+/// Variant (13): flat combining for updates + the paper's non-blocking reads.
+///
+/// Updates are published to per-thread slots; the thread that wins the
+/// combiner lock applies every pending update sequentially on the HDT engine
+/// (single writer — exactly the regime the single-writer ETT requires), which
+/// trades parallelism for synchronization-free batching and cache locality.
+/// connected() never enters the combiner: it runs Listing 1's lock-free
+/// query. The paper finds this the best algorithm in update-heavy
+/// single-component scenarios (§5.3 "Flat combining").
+class FlatCombiningDc final : public DynamicConnectivity {
+ public:
+  explicit FlatCombiningDc(Vertex n, std::string name = "fc-nbreads",
+                           bool sampling = true);
+
+  bool add_edge(Vertex u, Vertex v) override {
+    return submit(combining::OpType::kAdd, u, v);
+  }
+  bool remove_edge(Vertex u, Vertex v) override {
+    return submit(combining::OpType::kRemove, u, v);
+  }
+  bool connected(Vertex u, Vertex v) override { return hdt_.connected(u, v); }
+
+  Vertex num_vertices() const override { return hdt_.num_vertices(); }
+  std::string name() const override { return name_; }
+
+  Hdt& engine() noexcept { return hdt_; }
+
+ private:
+  bool submit(combining::OpType type, Vertex u, Vertex v);
+  void combine();
+
+  Hdt hdt_;
+  std::string name_;
+  combining::SlotArray slots_;
+  SpinLock combiner_lock_;
+};
+
+}  // namespace condyn

@@ -1,0 +1,106 @@
+#include "combining/parallel_combining.hpp"
+
+#include "core/stats.hpp"
+#include "util/lock_stats.hpp"
+
+namespace condyn {
+
+using combining::kDone;
+using combining::kEmpty;
+using combining::kGo;
+using combining::kPending;
+using combining::OpType;
+using combining::Slot;
+
+ParallelCombiningDc::ParallelCombiningDc(Vertex n, std::string name,
+                                         bool sampling)
+    : hdt_(n, sampling), name_(std::move(name)) {}
+
+void ParallelCombiningDc::combine() {
+  // Phase 1 — snapshot the batch. Reads are released to run concurrently on
+  // the quiescent structure (their owners execute them); updates are
+  // remembered for phase 2.
+  unsigned updates[combining::SlotArray::size()];
+  unsigned n_updates = 0;
+  unsigned reads_in_flight[combining::SlotArray::size()];
+  unsigned n_reads = 0;
+
+  const unsigned me = thread_index() % combining::SlotArray::size();
+  const unsigned active = slots_.active_size();
+  for (unsigned i = 0; i < active; ++i) {
+    Slot& s = slots_.at(i);
+    if (s.state.load(std::memory_order_seq_cst) != kPending) continue;
+    if (s.type == OpType::kConnected) {
+      if (i == me) {
+        // The combiner's own read: executing it via GO would deadlock the
+        // drain loop below, so run it directly (structure is quiescent).
+        ++op_stats::local().reads;
+        s.result = hdt_.connected_writer(s.u, s.v);
+        s.state.store(kDone, std::memory_order_seq_cst);
+      } else {
+        s.state.store(kGo, std::memory_order_seq_cst);
+        reads_in_flight[n_reads++] = i;
+      }
+    } else {
+      updates[n_updates++] = i;
+    }
+  }
+
+  // Wait for the parallel read phase to drain before mutating anything.
+  Backoff backoff;
+  for (unsigned k = 0; k < n_reads; ++k) {
+    Slot& s = slots_.at(reads_in_flight[k]);
+    while (s.state.load(std::memory_order_seq_cst) == kGo) backoff.pause();
+  }
+
+  // Phase 2 — apply updates sequentially (single writer).
+  for (unsigned k = 0; k < n_updates; ++k) {
+    Slot& s = slots_.at(updates[k]);
+    if (s.type == OpType::kAdd)
+      s.result = hdt_.add_edge(s.u, s.v).performed;
+    else
+      s.result = hdt_.remove_edge(s.u, s.v).performed;
+    s.state.store(kDone, std::memory_order_seq_cst);
+  }
+}
+
+bool ParallelCombiningDc::submit(OpType type, Vertex u, Vertex v) {
+  Slot& s = slots_.mine();
+  s.type = type;
+  s.u = u;
+  s.v = v;
+  s.state.store(kPending, std::memory_order_seq_cst);
+
+  const uint64_t t0 = lock_stats::now_ns();
+  uint64_t useful_ns = 0;
+  Backoff backoff;
+  for (;;) {
+    const uint32_t st = s.state.load(std::memory_order_seq_cst);
+    if (st == kDone) break;
+    if (st == kGo) {
+      // Parallel read phase: execute our own query on the quiescent
+      // structure; the combiner is blocked until every GO slot drains.
+      const uint64_t c0 = lock_stats::now_ns();
+      ++op_stats::local().reads;
+      s.result = hdt_.connected_writer(s.u, s.v);
+      s.state.store(kDone, std::memory_order_seq_cst);
+      useful_ns += lock_stats::now_ns() - c0;
+      break;
+    }
+    if (combiner_lock_.try_lock()) {
+      const uint64_t c0 = lock_stats::now_ns();
+      combine();
+      combiner_lock_.unlock();
+      useful_ns += lock_stats::now_ns() - c0;
+      continue;
+    }
+    backoff.pause();
+  }
+  s.state.store(kEmpty, std::memory_order_seq_cst);
+  const uint64_t total = lock_stats::now_ns() - t0;
+  if (total > useful_ns) lock_stats::add_wait(total - useful_ns);
+  lock_stats::add_acquisition(true);
+  return s.result;
+}
+
+}  // namespace condyn

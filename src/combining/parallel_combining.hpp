@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+
+#include "api/dynamic_connectivity.hpp"
+#include "combining/combining_core.hpp"
+#include "core/hdt.hpp"
+
+namespace condyn {
+
+/// Variant (12): parallel combining (Aksenov, Kuznetsov, Shalyto — OPODIS'18)
+/// applied to dynamic connectivity, the paper's strongest prior baseline.
+///
+/// Like flat combining, updates are applied sequentially by the combiner.
+/// Unlike flat combining, published *read* operations are executed by their
+/// owning threads in a parallel phase: the combiner flips every pending read
+/// slot to GO, the owners run their own connected() on the then-quiescent
+/// structure concurrently, and only after all reads drain does the combiner
+/// apply the batched updates. This is the "readers-writer lock"-like batching
+/// the paper describes in §1.
+class ParallelCombiningDc final : public DynamicConnectivity {
+ public:
+  explicit ParallelCombiningDc(Vertex n,
+                               std::string name = "parallel-combining",
+                               bool sampling = true);
+
+  bool add_edge(Vertex u, Vertex v) override {
+    return submit(combining::OpType::kAdd, u, v);
+  }
+  bool remove_edge(Vertex u, Vertex v) override {
+    return submit(combining::OpType::kRemove, u, v);
+  }
+  bool connected(Vertex u, Vertex v) override {
+    return submit(combining::OpType::kConnected, u, v);
+  }
+
+  Vertex num_vertices() const override { return hdt_.num_vertices(); }
+  std::string name() const override { return name_; }
+
+  Hdt& engine() noexcept { return hdt_; }
+
+ private:
+  bool submit(combining::OpType type, Vertex u, Vertex v);
+  void combine();
+
+  Hdt hdt_;
+  std::string name_;
+  combining::SlotArray slots_;
+  SpinLock combiner_lock_;
+};
+
+}  // namespace condyn

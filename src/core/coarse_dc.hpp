@@ -1,0 +1,59 @@
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "api/dynamic_connectivity.hpp"
+#include "core/hdt.hpp"
+#include "core/stats.hpp"
+
+namespace condyn {
+
+/// Coarse-grained variants (1)–(5): the HDT engine behind one global lock.
+///
+/// Template knobs cover the paper's combinations:
+///  * Lock = SpinLock     → (1) plain coarse-grained locking;
+///  * Lock = RwSpinLock   → (2) readers–writer lock (reads take shared mode);
+///  * Lock = ElisionLock  → (4)/(5) HTM lock elision;
+///  * NonBlockingReads    → (3)/(5): connected() bypasses the lock entirely
+///    and runs the single-writer ETT's lock-free query.
+template <typename Lock, bool NonBlockingReads>
+class CoarseDc final : public DynamicConnectivity {
+ public:
+  explicit CoarseDc(Vertex n, std::string name, bool sampling = true)
+      : hdt_(n, sampling), name_(std::move(name)) {}
+
+  bool add_edge(Vertex u, Vertex v) override {
+    std::lock_guard<Lock> lk(mu_);
+    return hdt_.add_edge(u, v).performed;
+  }
+
+  bool remove_edge(Vertex u, Vertex v) override {
+    std::lock_guard<Lock> lk(mu_);
+    return hdt_.remove_edge(u, v).performed;
+  }
+
+  bool connected(Vertex u, Vertex v) override {
+    if constexpr (NonBlockingReads) {
+      return hdt_.connected(u, v);
+    } else {
+      ++op_stats::local().reads;
+      mu_.lock_shared();  // == lock() for exclusive-only locks
+      const bool r = hdt_.connected_writer(u, v);
+      mu_.unlock_shared();
+      return r;
+    }
+  }
+
+  Vertex num_vertices() const override { return hdt_.num_vertices(); }
+  std::string name() const override { return name_; }
+
+  Hdt& engine() noexcept { return hdt_; }
+
+ private:
+  Hdt hdt_;
+  Lock mu_;
+  std::string name_;
+};
+
+}  // namespace condyn

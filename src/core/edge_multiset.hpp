@@ -1,0 +1,146 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/ebr.hpp"
+
+namespace condyn {
+
+/// Lock-free multiset of vertices — the per-(vertex, level) container of
+/// adjacent non-spanning edges used by the full algorithm (Listing 5's
+/// `ConcurrentMultiSet<Edge>`; we store the neighbor endpoint, the owning
+/// vertex being implicit).
+///
+/// Why a *multiset*: the paper permits several copies of the same edge to
+/// coexist transiently — an adder inserts its copy before the linearizing
+/// status CAS, a helper that completes the same addition inserts another,
+/// and each copy is removed by the operation that created it (Appendix C
+/// "Edge Management"). The invariant consumers rely on is one-sided: a live
+/// non-spanning edge of level r has *at least one* copy in the multisets of
+/// both endpoints at level r, because info is inserted before and removed
+/// only after the corresponding linearization point.
+///
+/// Implementation: a sorted-free singly-linked list with prepend-insert and
+/// logical deletion marks (Harris), unlinked lazily by later traversals and
+/// reclaimed through EBR. Scans (replacement searches) iterate unmarked
+/// cells; they tolerate concurrent inserts (may or may not see them — the
+/// protocol's ordering argument, Theorem 4.1, covers both) and concurrent
+/// removals.
+class VertexMultiset {
+ public:
+  VertexMultiset() noexcept = default;
+  VertexMultiset(const VertexMultiset&) = delete;
+  VertexMultiset& operator=(const VertexMultiset&) = delete;
+
+  ~VertexMultiset() {
+    // Teardown is single-threaded (owning map's destructor): free directly.
+    Cell* c = head_.load(std::memory_order_relaxed);
+    while (c != nullptr) {
+      Cell* next = strip(c->next.load(std::memory_order_relaxed));
+      delete c;
+      c = next;
+    }
+  }
+
+  /// Insert one copy of `v`. Lock-free, O(1).
+  void add(Vertex v) {
+    auto guard = ebr::pin();
+    Cell* cell = new Cell{v, {}};
+    Cell* h = head_.load(std::memory_order_seq_cst);
+    for (;;) {
+      cell->next.store(h, std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(h, cell, std::memory_order_seq_cst))
+        break;
+    }
+    approx_size_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Remove one copy of `v`. Returns false if no live copy was found.
+  /// Lock-free: marks the cell dead; unlinking happens opportunistically.
+  bool remove_one(Vertex v) {
+    auto guard = ebr::pin();
+    for (Cell* c = first_live(); c != nullptr; c = next_live(c)) {
+      if (c->value != v) continue;
+      Cell* nx = c->next.load(std::memory_order_seq_cst);
+      if (marked(nx)) continue;  // someone else claimed it; keep looking
+      if (c->next.compare_exchange_strong(nx, mark(nx),
+                                          std::memory_order_seq_cst)) {
+        approx_size_.fetch_sub(1, std::memory_order_seq_cst);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Visit every live value; f returning false stops the scan early.
+  /// Caller must hold an EBR guard if other threads may mutate concurrently.
+  template <typename F>
+  bool for_each(F&& f) const {
+    for (Cell* c = first_live(); c != nullptr; c = next_live(c)) {
+      if (!f(c->value)) return false;
+    }
+    return true;
+  }
+
+  /// Racy size estimate; used only as the "are there candidates?" hint that
+  /// feeds subtree flags (Listing 6's `node.edges.size > 0`).
+  uint64_t approx_size() const noexcept {
+    const int64_t s =
+        static_cast<int64_t>(approx_size_.load(std::memory_order_seq_cst));
+    return s > 0 ? static_cast<uint64_t>(s) : 0;
+  }
+
+  bool empty_hint() const noexcept { return approx_size() == 0; }
+
+ private:
+  struct Cell {
+    Vertex value;
+    std::atomic<Cell*> next{nullptr};
+  };
+
+  static bool marked(Cell* p) noexcept {
+    return (reinterpret_cast<uintptr_t>(p) & 1) != 0;
+  }
+  static Cell* mark(Cell* p) noexcept {
+    return reinterpret_cast<Cell*>(reinterpret_cast<uintptr_t>(p) | 1);
+  }
+  static Cell* strip(Cell* p) noexcept {
+    return reinterpret_cast<Cell*>(reinterpret_cast<uintptr_t>(p) & ~uintptr_t{1});
+  }
+
+  bool cell_dead(Cell* c) const noexcept {
+    return marked(c->next.load(std::memory_order_seq_cst));
+  }
+
+  /// First live cell, physically unlinking any dead prefix (only the head
+  /// pointer is ever rewired — interior dead cells are skipped, not
+  /// unlinked, which keeps remove_one O(live) and traversal wait-free
+  /// against any finite number of removals).
+  Cell* first_live() const {
+    Cell* h = head_.load(std::memory_order_seq_cst);
+    while (h != nullptr && cell_dead(h)) {
+      Cell* next = strip(h->next.load(std::memory_order_seq_cst));
+      if (head_.compare_exchange_weak(h, next, std::memory_order_seq_cst)) {
+        ebr::retire(h);
+        h = next;
+      }
+      // CAS failure reloaded h; loop re-tests.
+    }
+    return h;
+  }
+
+  Cell* next_live(Cell* c) const {
+    Cell* n = strip(c->next.load(std::memory_order_seq_cst));
+    while (n != nullptr && cell_dead(n)) {
+      n = strip(n->next.load(std::memory_order_seq_cst));
+    }
+    return n;
+  }
+
+  mutable std::atomic<Cell*> head_{nullptr};
+  std::atomic<int64_t> approx_size_{0};
+};
+
+}  // namespace condyn

@@ -1,0 +1,23 @@
+#include "core/edge_state.hpp"
+
+#ifdef CONDYN_TRACE_EDGE_STATES
+#include <cstdio>
+
+namespace condyn {
+
+void EdgeStateCell::dump_trace() const noexcept {
+  const uint32_t end = trace_pos.load(std::memory_order_relaxed);
+  const uint32_t n = end < kTraceLen ? end : kTraceLen;
+  std::fprintf(stderr, "edge-state trace (most recent last, %u entries):\n", n);
+  for (uint32_t k = 0; k < n; ++k) {
+    const EdgeTrace& t = traces[(end - n + k) % kTraceLen];
+    const EdgeState f(t.from), to(t.to);
+    std::fprintf(stderr,
+                 "  site=%2u  (%d,l%d,s%llu) -> (%d,l%d,s%llu)\n", t.site,
+                 (int)f.status(), f.level(), (unsigned long long)f.stamp(),
+                 (int)to.status(), to.level(), (unsigned long long)to.stamp());
+  }
+}
+
+}  // namespace condyn
+#endif

@@ -1,0 +1,512 @@
+#include "core/ett.hpp"
+
+#include <cassert>
+
+#include "core/stats.hpp"
+#include "util/ebr.hpp"
+#include "util/random.hpp"
+
+namespace condyn::ett {
+
+namespace {
+
+constexpr uint64_t kVertexPriorityBit = uint64_t{1} << 63;
+
+/// Vertex priorities live in the top half, arc priorities in the bottom half,
+/// so the max-priority node of any tour — its treap root — is always a
+/// vertex node. See the Forest class comment for why that matters.
+uint64_t draw_vertex_priority() noexcept {
+  return kVertexPriorityBit | (thread_rng().next() >> 1);
+}
+uint64_t draw_arc_priority() noexcept { return thread_rng().next() >> 1; }
+
+uint32_t sz(const Node* x) noexcept { return x ? x->size : 0; }
+uint32_t vc(const Node* x) noexcept { return x ? x->vcount : 0; }
+bool sla(const Node* x) noexcept { return x ? x->sub_level_arc : false; }
+bool sns(const Node* x) noexcept {
+  return x && x->sub_nonspanning.load(std::memory_order_seq_cst);
+}
+bool local_ns(const Node* x) noexcept {
+  return x->local_nonspanning.load(std::memory_order_seq_cst) != 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lock-free reader operations
+// ---------------------------------------------------------------------------
+
+RootSnapshot find_root_versioned(const Node* start) noexcept {
+  const Node* cur = start;
+  for (;;) {
+    const Node* p = cur->parent.load(std::memory_order_seq_cst);
+    if (p == nullptr) break;
+    cur = p;
+  }
+  return {cur, cur->version.load(std::memory_order_seq_cst)};
+}
+
+Node* find_root(Node* start) noexcept {
+  Node* cur = start;
+  for (;;) {
+    Node* p = cur->parent.load(std::memory_order_seq_cst);
+    if (p == nullptr) return cur;
+    cur = p;
+  }
+}
+
+bool connected_nonblocking(const Node* nu, const Node* nv) noexcept {
+  auto guard = ebr::pin();
+  auto& st = op_stats::local();
+  ++st.reads;
+  for (;;) {
+    const RootSnapshot su = find_root_versioned(nu);
+    const RootSnapshot sv = find_root_versioned(nv);
+    // Has the component of `u` changed?
+    if (find_root_versioned(nu) != su) {
+      ++st.read_retries;
+      continue;
+    }
+    if (su.root != sv.root) {
+      // Likely different components; re-check that the two roots were
+      // snapshotted atomically. The second re-check of `u` is required —
+      // Appendix A constructs a non-linearizable history without it.
+      if (find_root_versioned(nv) != sv) {
+        ++st.read_retries;
+        continue;
+      }
+      if (find_root_versioned(nu) != su) {
+        ++st.read_retries;
+        continue;
+      }
+    }
+    return su.root == sv.root;
+  }
+}
+
+void set_flags_up(Node* x) noexcept {
+  // Listing 6's set_flags_up: stop as soon as a flag is already raised —
+  // the raiser that performed that transition continues the walk.
+  Node* cur = x;
+  while (cur != nullptr) {
+    if (cur->sub_nonspanning.load(std::memory_order_seq_cst)) return;
+    cur->sub_nonspanning.store(true, std::memory_order_seq_cst);
+    cur = cur->parent.load(std::memory_order_seq_cst);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writer-side treap machinery
+// ---------------------------------------------------------------------------
+
+void Forest::set_parent(Node* child, Node* p) noexcept {
+  assert(p == nullptr || node_less(child, p));  // invariant I1
+  if (child->parent.load(std::memory_order_relaxed) != p)
+    child->parent.store(p, std::memory_order_seq_cst);
+}
+
+void Forest::pull(Node* x) noexcept {
+  x->size = 1 + sz(x->left) + sz(x->right);
+  x->vcount = (x->is_vertex ? 1 : 0) + vc(x->left) + vc(x->right);
+  x->sub_level_arc = x->arc_at_level || sla(x->left) || sla(x->right);
+  recalculate_flags(x);
+}
+
+void Forest::recalculate_flags(Node* x) noexcept {
+  const bool ns = local_ns(x) || sns(x->left) || sns(x->right);
+  x->sub_nonspanning.store(ns, std::memory_order_seq_cst);
+  if (!ns) {
+    // Lemma C.1: a lock-free adder may have raised the flag between our read
+    // and our store; re-check after writing false and repair.
+    if (local_ns(x) || sns(x->left) || sns(x->right))
+      x->sub_nonspanning.store(true, std::memory_order_seq_cst);
+  }
+}
+
+uint32_t Forest::rank_of(Node* x) noexcept {
+  uint32_t r = sz(x->left);
+  Node* cur = x;
+  for (;;) {
+    Node* p = cur->parent.load(std::memory_order_relaxed);
+    if (p == nullptr || (p->left != cur && p->right != cur)) break;  // root
+    if (p->right == cur) r += sz(p->left) + 1;
+    cur = p;
+  }
+  return r;
+}
+
+Node* Forest::merge(Node* a, Node* b) noexcept {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (node_less(b, a)) {
+    Node* r = merge(a->right, b);
+    a->right = r;
+    set_parent(r, a);
+    pull(a);
+    return a;
+  }
+  Node* l = merge(a, b->left);
+  b->left = l;
+  set_parent(l, b);
+  pull(b);
+  return b;
+}
+
+void Forest::split_walk(Node* prev, Node*& l, Node*& r) noexcept {
+  // Ascend from `prev`, distributing path nodes onto the L / R sides.
+  // The walk stops at the tree's root, detected as "prev is not a child of
+  // its (possibly stale) parent pointer" — piece roots produced by earlier
+  // splits keep stale parents by design (invariant I2).
+  Node* p = prev->parent.load(std::memory_order_relaxed);
+  bool prev_left = p != nullptr && p->left == prev;
+  while (p != nullptr && (p->left == prev || p->right == prev)) {
+    Node* np = p->parent.load(std::memory_order_relaxed);
+    const bool p_left = np != nullptr && np->left == p;
+    if (prev_left) {
+      // p and its right subtree follow prev's subtree in tour order.
+      p->left = r;
+      if (r != nullptr) set_parent(r, p);
+      pull(p);
+      r = p;
+    } else {
+      p->right = l;
+      if (l != nullptr) set_parent(l, p);
+      pull(p);
+      l = p;
+    }
+    prev = p;
+    p = np;
+    prev_left = p_left;
+  }
+}
+
+std::pair<Node*, Node*> Forest::split_before(Node* x) noexcept {
+  Node* l = x->left;  // keeps its stale parent pointer (invariant I2)
+  x->left = nullptr;
+  pull(x);
+  Node* r = x;
+  split_walk(x, l, r);
+  return {l, r};
+}
+
+std::pair<Node*, Node*> Forest::split_after(Node* x) noexcept {
+  Node* r = x->right;  // keeps its stale parent pointer
+  x->right = nullptr;
+  pull(x);
+  Node* l = x;
+  split_walk(x, l, r);
+  return {l, r};
+}
+
+Node* Forest::reroot(Node* u_node) noexcept {
+  // Tours are cyclic: rotating [A | u..] to [u.. | A] rebases the tour at u
+  // without changing the node set — hence without changing the (max
+  // priority) root, so no version/parent protocol is involved here.
+  auto [a, b] = split_before(u_node);
+  return merge(b, a);
+}
+
+// ---------------------------------------------------------------------------
+// Forest lifecycle
+// ---------------------------------------------------------------------------
+
+Forest::Forest(Vertex n, int level)
+    : n_(n),
+      level_(level),
+      nodes_(std::make_unique<std::atomic<Node*>[]>(n)) {
+  for (Vertex i = 0; i < n; ++i)
+    nodes_[i].store(nullptr, std::memory_order_relaxed);
+}
+
+Forest::~Forest() {
+  arcs_.for_each([](const Edge&, ArcPair& p) {
+    delete p.uv;
+    delete p.vu;
+  });
+  for (Vertex i = 0; i < n_; ++i)
+    delete nodes_[i].load(std::memory_order_relaxed);
+}
+
+Node* Forest::new_vertex_node(Vertex v) {
+  Node* x = new Node();
+  x->priority = draw_vertex_priority();
+  x->tail = x->head = v;
+  x->is_vertex = true;
+  x->vcount = 1;
+  return x;
+}
+
+Node* Forest::new_arc_node(Vertex t, Vertex h, uint64_t) {
+  Node* x = new Node();
+  x->priority = draw_arc_priority();
+  x->tail = t;
+  x->head = h;
+  x->is_vertex = false;
+  return x;
+}
+
+Node* Forest::vertex_node(Vertex v) {
+  assert(v < n_);
+  Node* cur = nodes_[v].load(std::memory_order_acquire);
+  if (cur != nullptr) return cur;
+  Node* fresh = new_vertex_node(v);
+  if (nodes_[v].compare_exchange_strong(cur, fresh,
+                                        std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;  // lost the creation race
+  return cur;
+}
+
+// ---------------------------------------------------------------------------
+// Public operations
+// ---------------------------------------------------------------------------
+
+bool Forest::has_edge(Vertex u, Vertex v) const {
+  return arcs_.find(Edge(u, v)) != nullptr;
+}
+
+bool Forest::connected_writer(Vertex u, Vertex v) {
+  return find_root(vertex_node(u)) == find_root(vertex_node(v));
+}
+
+bool Forest::connected(Vertex u, Vertex v) {
+  return connected_nonblocking(vertex_node(u), vertex_node(v));
+}
+
+uint32_t Forest::component_vertices(Vertex u) {
+  return find_root(vertex_node(u))->vcount;
+}
+
+void Forest::link(Vertex u, Vertex v) {
+  Node* nu = vertex_node(u);
+  Node* nv = vertex_node(v);
+  Node* ru = find_root(nu);
+  Node* rv = find_root(nv);
+  assert(ru != rv && "link precondition: different components");
+  assert(!has_edge(u, v));
+
+  // I3: bump both root versions before any physical change.
+  ru->version.fetch_add(1, std::memory_order_seq_cst);
+  rv->version.fetch_add(1, std::memory_order_seq_cst);
+
+  // Logical merge (Fig. 2): one store makes the two trees one component for
+  // concurrent readers. The lower-priority root points at the higher one, so
+  // the eventual root (always a vertex node, always the max-priority node of
+  // the union) is `hi`, whose version was just bumped.
+  Node* hi = node_less(ru, rv) ? rv : ru;
+  Node* lo = hi == ru ? rv : ru;
+  set_parent(lo, hi);
+
+  // Physical restructuring; all stores keep chains rooted at `hi`.
+  Node* tu = reroot(nu);
+  Node* tv = reroot(nv);
+
+  auto* pair = arcs_.get_or_create(Edge(u, v));
+  assert(pair->uv == nullptr && pair->vu == nullptr &&
+         "link precondition: edge not already in the forest");
+  Node* a1 = new_arc_node(u, v, 0);
+  Node* a2 = new_arc_node(v, u, 0);
+  if (u <= v) {
+    pair->uv = a1;
+    pair->vu = a2;
+  } else {
+    pair->uv = a2;
+    pair->vu = a1;
+  }
+
+  Node* t = merge(merge(merge(tu, a1), tv), a2);
+  (void)t;
+  assert(t == hi);
+  assert(hi->parent.load(std::memory_order_relaxed) == nullptr);
+}
+
+Node* Forest::find_piece_root(Node* x) noexcept {
+  Node* cur = x;
+  for (;;) {
+    Node* p = cur->parent.load(std::memory_order_relaxed);
+    if (p == nullptr || (p->left != cur && p->right != cur)) return cur;
+    cur = p;
+  }
+}
+
+Forest::CutHandle Forest::cut_prepare(Vertex u, Vertex v) {
+  ArcPair* pair = arcs_.find(Edge(u, v));
+  assert(pair != nullptr && "cut precondition: edge in forest");
+  Node* a = u <= v ? pair->uv : pair->vu;  // arc u->v
+  Node* b = u <= v ? pair->vu : pair->uv;  // arc v->u
+
+  Node* rt = find_root(a);
+  // I3: bump the current root's version before any physical change.
+  rt->version.fetch_add(1, std::memory_order_seq_cst);
+
+  if (rank_of(a) > rank_of(b)) std::swap(a, b);
+
+  // Tour layout: A | a | B | b | C. All splits keep stale parents, so every
+  // chain still terminates at rt until cut_commit's unlink (or forever, if
+  // cut_relink splices the pieces back together).
+  auto [piece_a, r1] = split_before(a);
+  (void)r1;
+  auto [a_only, r2] = split_after(a);
+  assert(a_only == a && r2 != nullptr);
+  auto [piece_b, r3] = split_before(b);
+  assert(r3 != nullptr);
+  auto [b_only, piece_c] = split_after(b);
+  assert(b_only == b);
+  (void)a_only;
+  (void)b_only;
+  (void)r2;
+  (void)r3;
+
+  Node* ac = merge(piece_a, piece_c);
+  assert(ac != nullptr && piece_b != nullptr);
+  assert((ac == rt) != (piece_b == rt));
+
+  CutHandle h;
+  h.old_root = rt;
+  h.arc1 = a;
+  h.arc2 = b;
+  h.u = u;
+  h.v = v;
+  Node* ru = find_piece_root(vertex_node(u));
+  assert(ru == ac || ru == piece_b);
+  h.root_u = ru;
+  h.root_v = (ru == ac) ? piece_b : ac;
+  arcs_.erase(Edge(u, v));  // writer-only table; readers never consult it
+  return h;
+}
+
+void Forest::cut_commit(CutHandle& h) {
+  // The piece that is not the old root becomes a root now: bump its version
+  // (I3), then the single null store is the linearization point (Fig. 3).
+  Node* fresh_root = (h.root_u == h.old_root) ? h.root_v : h.root_u;
+  assert(fresh_root != h.old_root);
+  fresh_root->version.fetch_add(1, std::memory_order_seq_cst);
+  fresh_root->parent.store(nullptr, std::memory_order_seq_cst);
+
+  // I4: readers may still be traversing the removed arcs; their stale parent
+  // pointers keep chains valid, and EBR delays the actual free.
+  ebr::retire(h.arc1);
+  ebr::retire(h.arc2);
+}
+
+void Forest::cut_relink(CutHandle& h, Vertex x, Vertex y) {
+  Node* nx = vertex_node(x);
+  Node* ny = vertex_node(y);
+  [[maybe_unused]] Node* rx = find_piece_root(nx);
+  [[maybe_unused]] Node* ry = find_piece_root(ny);
+  assert(rx != ry);
+  assert((rx == h.root_u || rx == h.root_v) &&
+         (ry == h.root_u || ry == h.root_v));
+
+  // No version/logical-merge protocol here: for readers this entire removal
+  // never changed anything — every intermediate store keeps chains rooted at
+  // old_root, and the final structure is again one tree rooted at old_root
+  // (it remains the maximum-priority node of the unchanged vertex set).
+  Node* tx = reroot(nx);
+  Node* ty = reroot(ny);
+
+  auto* pair = arcs_.get_or_create(Edge(x, y));
+  assert(pair->uv == nullptr && pair->vu == nullptr &&
+         "relink precondition: replacement not already in the forest");
+  Node* a1 = new_arc_node(x, y, 0);
+  Node* a2 = new_arc_node(y, x, 0);
+  if (x <= y) {
+    pair->uv = a1;
+    pair->vu = a2;
+  } else {
+    pair->uv = a2;
+    pair->vu = a1;
+  }
+
+  [[maybe_unused]] Node* t = merge(merge(merge(tx, a1), ty), a2);
+  assert(t == h.old_root);
+  assert(h.old_root->parent.load(std::memory_order_relaxed) == nullptr);
+
+  ebr::retire(h.arc1);
+  ebr::retire(h.arc2);
+}
+
+void Forest::cut(Vertex u, Vertex v) {
+  CutHandle h = cut_prepare(u, v);
+  cut_commit(h);
+}
+
+void Forest::set_arc_at_level(Vertex u, Vertex v, bool value) {
+  ArcPair* pair = arcs_.find(Edge(u, v));
+  assert(pair != nullptr);
+  for (Node* arc : {pair->uv, pair->vu}) {
+    arc->arc_at_level = value;
+    for (Node* x = arc; x != nullptr;) {
+      pull(x);
+      Node* p = x->parent.load(std::memory_order_relaxed);
+      x = (p != nullptr && (p->left == x || p->right == x)) ? p : nullptr;
+    }
+  }
+}
+
+void Forest::nonspanning_inc(Vertex v) {
+  Node* x = vertex_node(v);
+  x->local_nonspanning.fetch_add(1, std::memory_order_seq_cst);
+  set_flags_up(x);
+}
+
+void Forest::nonspanning_dec(Vertex v) {
+  Node* x = vertex_node(v);
+  [[maybe_unused]] uint32_t prev =
+      x->local_nonspanning.fetch_sub(1, std::memory_order_seq_cst);
+  assert(prev > 0);
+  // Flags are deliberately left possibly-true (Listing 6's remove_info);
+  // only replacement searches under locks lower them, with the recheck.
+}
+
+// ---------------------------------------------------------------------------
+// Introspection (tests)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void collect_tour(const Node* x, std::vector<const Node*>& out) {
+  if (x == nullptr) return;
+  collect_tour(x->left, out);
+  out.push_back(x);
+  collect_tour(x->right, out);
+}
+
+std::size_t validate_rec(const Node* x) {
+  if (x == nullptr) return 0;
+  std::size_t cnt = 1;
+  for (const Node* c : {x->left, x->right}) {
+    if (c == nullptr) continue;
+    assert(node_less(c, x) && "heap order violated");
+    assert(c->parent.load(std::memory_order_relaxed) == x &&
+           "child parent pointer mismatch");
+    cnt += validate_rec(c);
+  }
+  assert(x->size == 1 + sz(x->left) + sz(x->right));
+  assert(x->vcount ==
+         (x->is_vertex ? 1u : 0u) + vc(x->left) + vc(x->right));
+  assert(x->sub_level_arc ==
+         (x->arc_at_level || sla(x->left) || sla(x->right)));
+  // sub_nonspanning may be conservatively true, but never falsely false.
+  if (local_ns(x) || sns(x->left) || sns(x->right))
+    assert(x->sub_nonspanning.load(std::memory_order_relaxed));
+  return cnt;
+}
+
+}  // namespace
+
+std::vector<const Node*> Forest::tour(Vertex u) {
+  std::vector<const Node*> out;
+  collect_tour(find_root(vertex_node(u)), out);
+  return out;
+}
+
+std::size_t Forest::validate(Vertex u) {
+  Node* r = find_root(vertex_node(u));
+  assert(r->parent.load(std::memory_order_relaxed) == nullptr);
+  assert(r->is_vertex && "root must be a vertex node");
+  return validate_rec(r);
+}
+
+}  // namespace condyn::ett

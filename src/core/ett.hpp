@@ -1,0 +1,230 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/sharded_map.hpp"
+#include "graph/graph.hpp"
+#include "util/rw_lock.hpp"
+
+namespace condyn::ett {
+
+/// Single-writer, multi-reader Euler Tour Tree (paper §3).
+///
+/// The tour of each spanning tree is stored in a Cartesian tree (treap) with
+/// implicit keys. The *writer* (the thread holding the component's lock)
+/// restructures using the plain `left/right/size` fields; *readers* traverse
+/// only the atomic `parent` pointers and the root `version` counters, giving
+/// a non-blocking, linearizable `connected` (Listing 1 of the paper).
+///
+/// Reader-safety invariants maintained by every writer-side store (see
+/// DESIGN.md §4.1):
+///  I1 (acyclicity)   every parent pointer targets a strictly higher
+///                    (priority, address) node, so chains terminate;
+///  I2 (single sink)  parent pointers are never set to null except at the
+///                    single linearization store of a split, and the
+///                    linearization store of a merge is the single store
+///                    that connects the two sink trees;
+///  I3 (versions)     before a merge/split the writer bumps the versions of
+///                    the involved roots and of the node that will become a
+///                    root, so a version is at most one step ahead;
+///  I4 (reclamation)  removed arc nodes keep their stale parent pointers and
+///                    are retired through EBR, never freed in place.
+struct Node {
+  // --- fields shared with lock-free readers (seq_cst) ----------------------
+  std::atomic<Node*> parent{nullptr};
+  std::atomic<uint64_t> version{0};
+  /// Subtree contains a vertex with adjacent non-spanning edges at this
+  /// level. Lock-free adders may set it to true bottom-up (Listing 6);
+  /// the writer recomputes it with the write-false-then-recheck discipline.
+  std::atomic<bool> sub_nonspanning{false};
+  /// Number of non-spanning edges adjacent to this vertex at this level
+  /// (authoritative "local" input of the flag; vertex nodes only).
+  std::atomic<uint32_t> local_nonspanning{0};
+  /// Per-component spanning-edge-removal announcement of the full algorithm
+  /// (Listing 5's `removal_op`, meaningful on roots only).
+  std::atomic<void*> removal_op{nullptr};
+
+  // --- writer-only fields ---------------------------------------------------
+  Node* left = nullptr;
+  Node* right = nullptr;
+  uint64_t priority = 0;   ///< top bit set for vertex nodes (see Forest docs)
+  uint32_t size = 1;       ///< subtree node count (order statistics)
+  uint32_t vcount = 0;     ///< subtree vertex-node count (component |V|)
+  Vertex tail = 0;         ///< vertex nodes: the vertex; arcs: edge tail
+  Vertex head = 0;         ///< vertex nodes: == tail; arcs: edge head
+  bool is_vertex = false;
+  bool arc_at_level = false;  ///< arc whose edge level == this forest's level
+  bool sub_level_arc = false; ///< subtree contains such an arc
+
+  /// Per-component lock for the fine-grained variants (valid on any node;
+  /// only ever taken on (candidate) roots, per Listing 2). A readers–writer
+  /// lock so variant (7) can take it in shared mode for queries.
+  RwSpinLock lock;
+
+  bool is_arc() const noexcept { return !is_vertex; }
+};
+
+/// Strict total order on (priority, address); "parent must be higher".
+inline bool node_less(const Node* a, const Node* b) noexcept {
+  return a->priority != b->priority ? a->priority < b->priority : a < b;
+}
+
+struct RootSnapshot {
+  const Node* root = nullptr;
+  uint64_t version = 0;
+  friend bool operator==(const RootSnapshot&, const RootSnapshot&) = default;
+};
+
+/// Lock-free root search (Listing 1's find_root): follows parent pointers,
+/// returns the sink and its version. Caller must hold an ebr guard.
+RootSnapshot find_root_versioned(const Node* start) noexcept;
+
+/// Writer-side root search (no version needed).
+Node* find_root(Node* start) noexcept;
+
+/// Lock-free linearizable connectivity check between two nodes of (possibly)
+/// different forests' trees — Listing 1 verbatim, including the fifth
+/// find_root that Appendix A proves necessary. Pins EBR internally.
+bool connected_nonblocking(const Node* nu, const Node* nv) noexcept;
+
+/// Lock-free bottom-up flag raising used by non-blocking non-spanning edge
+/// additions (Listing 6's set_flags_up). Caller must hold an ebr guard.
+void set_flags_up(Node* x) noexcept;
+
+/// One Euler-tour forest (one level of the HDT structure).
+///
+/// Priorities: vertex nodes draw from [2^63, 2^64), arc nodes from [0, 2^63),
+/// which guarantees the root of a component is always a vertex node. That
+/// yields (a) stable roots under edge insertion (the post-link root is one of
+/// the two pre-link roots, as required by invariant I3), and (b) removed arc
+/// nodes are never roots, so a split has exactly one new root.
+class Forest {
+ public:
+  explicit Forest(Vertex n, int level = 0);
+  ~Forest();
+  Forest(const Forest&) = delete;
+  Forest& operator=(const Forest&) = delete;
+
+  Vertex num_vertices() const noexcept { return n_; }
+  int level() const noexcept { return level_; }
+
+  /// The vertex's tour node, creating it lazily (thread-safe; concurrent
+  /// creators race with CAS and the loser frees its allocation).
+  Node* vertex_node(Vertex v);
+  /// As above but returns null instead of creating.
+  Node* vertex_node_if_exists(Vertex v) const noexcept {
+    return nodes_[v].load(std::memory_order_acquire);
+  }
+
+  /// True if (u,v) is a spanning edge of this forest.
+  bool has_edge(Vertex u, Vertex v) const;
+
+  /// Writer: are u and v in the same tree (root comparison, not versioned)?
+  bool connected_writer(Vertex u, Vertex v);
+
+  /// Lock-free linearizable query (Listing 1); creates the vertex nodes if
+  /// missing (isolated vertices are their own components).
+  bool connected(Vertex u, Vertex v);
+
+  /// Writer: add spanning edge (u,v). Preconditions: u,v in different trees,
+  /// (u,v) not in the forest. Performs the atomic merge of Fig. 2.
+  void link(Vertex u, Vertex v);
+
+  /// Writer: remove spanning edge (u,v). Precondition: has_edge(u,v).
+  /// Performs the atomic split of Fig. 3.
+  void cut(Vertex u, Vertex v);
+
+  /// Two-phase cut, used by the HDT engine for level-0 removals. The paper's
+  /// linearization for spanning remove_edge is: "if there is no replacement
+  /// in F0 the linearization point is the same as for the ETT removal,
+  /// otherwise components of connectivity do not change". cut_prepare
+  /// restructures the tour into the two would-be trees while keeping every
+  /// parent chain rooted at the old root, so concurrent readers still see
+  /// one component. The replacement search then runs on the pieces
+  /// (find_piece_root / writer fields); finally either
+  ///  * cut_commit — no replacement: bump + single unlink (linearization), or
+  ///  * cut_relink — replacement (x,y) found: splice the pieces back together
+  ///    through the new arcs; readers never observe any change.
+  struct CutHandle {
+    Node* root_u = nullptr;  ///< piece containing u (writer view)
+    Node* root_v = nullptr;  ///< piece containing v
+    Node* arc1 = nullptr;    ///< removed arcs, retired at commit/relink
+    Node* arc2 = nullptr;
+    Node* old_root = nullptr;
+    Vertex u = 0, v = 0;
+  };
+  CutHandle cut_prepare(Vertex u, Vertex v);
+  void cut_commit(CutHandle& h);
+  void cut_relink(CutHandle& h, Vertex x, Vertex y);
+
+  /// Writer-side root of the *piece* containing x: ascends genuine
+  /// parent/child edges only, so inside a pending cut it identifies the
+  /// would-be component, while readers' find_root still reaches the old
+  /// root through stale pointers. On a quiescent tree it equals find_root.
+  static Node* find_piece_root(Node* x) noexcept;
+
+  /// Number of vertices in u's component (writer-side).
+  uint32_t component_vertices(Vertex u);
+
+  /// Writer: mark/unmark the (u,v) arc pair as "level arc" (the edge's level
+  /// equals this forest's level) and fix subtree flags. Used by the HDT
+  /// engine to iterate spanning edges to promote.
+  void set_arc_at_level(Vertex u, Vertex v, bool value);
+
+  /// Writer: adjust the local non-spanning counter of v's node and raise /
+  /// recompute subtree flags (increment uses set_flags_up, decrement leaves
+  /// flags stale-true per Listing 6's remove_info).
+  void nonspanning_inc(Vertex v);
+  void nonspanning_dec(Vertex v);
+
+  /// Writer: recompute x's subtree flag from its children with the
+  /// write-false-then-recheck discipline (Listing 6's recalculate_flags).
+  static void recalculate_flags(Node* x) noexcept;
+
+  /// Writer helpers for the HDT engine's subtree iteration.
+  static uint32_t subtree_vertices(const Node* x) noexcept {
+    return x ? x->vcount : 0;
+  }
+
+  /// In-order tour of u's component (testing/debugging).
+  std::vector<const Node*> tour(Vertex u);
+
+  /// Validate treap invariants of u's component (testing). Aborts via assert
+  /// on violation; returns node count.
+  std::size_t validate(Vertex u);
+
+ private:
+  friend class ForestTestPeer;
+
+  struct ArcPair {
+    Node* uv = nullptr;
+    Node* vu = nullptr;
+  };
+
+  Node* new_vertex_node(Vertex v);
+  Node* new_arc_node(Vertex t, Vertex h, uint64_t max_priority);
+
+  static void set_parent(Node* child, Node* p) noexcept;
+  static void pull(Node* x) noexcept;
+  static uint32_t rank_of(Node* x) noexcept;  // in-order position
+  /// Treap merge; never touches the result root's parent (invariant I2).
+  static Node* merge(Node* a, Node* b) noexcept;
+  /// Split off [begin..x) / [x..end]; piece roots keep stale parents.
+  static std::pair<Node*, Node*> split_before(Node* x) noexcept;
+  /// Split off [begin..x] / (x..end].
+  static std::pair<Node*, Node*> split_after(Node* x) noexcept;
+  static void split_walk(Node* prev, Node*& l, Node*& r) noexcept;
+  /// Rotate u's tour so it starts at u; returns the (unchanged) root.
+  Node* reroot(Node* u_node) noexcept;
+
+  Vertex n_;
+  int level_;
+  std::unique_ptr<std::atomic<Node*>[]> nodes_;
+  ShardedEdgeMap<ArcPair> arcs_;
+};
+
+}  // namespace condyn::ett

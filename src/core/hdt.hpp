@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/ett.hpp"
+#include "core/sharded_map.hpp"
+#include "graph/graph.hpp"
+
+namespace condyn {
+
+/// Holm–de Lichtenberg–Thorup dynamic connectivity over single-writer
+/// Euler Tour Trees (paper §4.1–§4.2).
+///
+/// Levels 0..⌊log2 n⌋; forest F_i spans the subgraph G_i of edges with level
+/// ≥ i; F_0 is the published spanning forest that connectivity queries read.
+/// A spanning edge of level l has arc pairs in F_0..F_l; a non-spanning edge
+/// of level l is recorded in the per-level adjacency sets of its endpoints.
+/// Replacement searches promote edges of the smaller side to amortize their
+/// cost, with the Iyer-et-al. random-sampling fast path the paper enables
+/// for all evaluated algorithms (§5.2 "Sampling").
+///
+/// Concurrency contract:
+///  * connected() is lock-free and linearizable (level-0 single-writer ETT);
+///  * add_edge/remove_edge/connected_writer require the caller to hold
+///    lock(s) covering the involved component(s) — a global lock for the
+///    coarse variants, the level-0 root locks of Listing 2 for the
+///    fine-grained ones. Cross-component shared state (edge table, adjacency
+///    maps, lazy forest creation) is internally sharded/atomic, so writers
+///    of disjoint components proceed in parallel.
+///  * A spanning-edge removal keeps the F_0 split *pending* (ett two-phase
+///    cut) for the whole replacement search, so readers observe the removal
+///    only at its linearization point — or never, if a replacement exists.
+class Hdt {
+ public:
+  struct UpdateOutcome {
+    bool performed = false;  ///< the graph changed
+    bool spanning = false;   ///< the spanning forest changed (or was probed)
+  };
+
+  explicit Hdt(Vertex n, bool sampling = true);
+  virtual ~Hdt();
+  Hdt(const Hdt&) = delete;
+  Hdt& operator=(const Hdt&) = delete;
+
+  Vertex num_vertices() const noexcept { return n_; }
+  int max_level() const noexcept { return lmax_; }
+
+  /// Lock-free linearizable connectivity query (Listing 1 on F_0).
+  bool connected(Vertex u, Vertex v) { return forest0_->connected(u, v); }
+
+  /// Writer-side query: caller holds lock(s) covering both components.
+  bool connected_writer(Vertex u, Vertex v) {
+    return forest0_->connected_writer(u, v);
+  }
+
+  /// Writer: insert (u,v). Returns {performed=false} if already present.
+  UpdateOutcome add_edge(Vertex u, Vertex v);
+
+  /// Writer: erase (u,v). Returns {performed=false} if absent.
+  UpdateOutcome remove_edge(Vertex u, Vertex v);
+
+  bool has_edge(Vertex u, Vertex v) const;
+  bool is_spanning(Vertex u, Vertex v) const;
+  int edge_level(Vertex u, Vertex v) const;  ///< -1 when absent
+
+  /// The published forest readers traverse; variant layers use it for root
+  /// discovery (fine-grained locking) and non-blocking reads.
+  ett::Forest& level0() noexcept { return *forest0_; }
+
+  /// Testing: F_0 ⊇ F_1 ⊇ ..., level bounds, component-size invariant.
+  void check_invariants();
+
+ protected:
+  struct EdgeInfo {
+    uint8_t level = 0;
+    bool spanning = false;
+    bool present = false;
+  };
+
+  struct AdjSet {
+    std::unordered_set<Vertex> s;
+  };
+
+  ett::Forest& forest(int i);
+  ett::Forest* forest_if(int i) const noexcept {
+    return forests_[i].load(std::memory_order_acquire);
+  }
+
+  void adj_insert(int level, Vertex a, Vertex b);
+  void adj_erase(int level, Vertex a, Vertex b);
+
+  /// Promote every level-i spanning edge inside tv's subtree to level i+1.
+  void promote_level_arcs(int i, ett::Node* tv_root);
+
+  /// Full scan (Listing-10 shape, locked engine): promote non-candidates,
+  /// stop at the first edge crossing to other_root. Recalculates flags
+  /// bottom-up. Returns true and fills *out when a replacement was found
+  /// (already detached from the adjacency sets).
+  bool search_replacement(int i, ett::Node* x, ett::Node* other_root,
+                          Edge* out);
+
+  /// Sampling fast path: test up to kSampleBudget candidate edges without
+  /// promoting anything.
+  bool sample_replacement(int i, ett::Node* tv_root, ett::Node* other_root,
+                          Edge* out);
+
+  static constexpr int kSampleBudget = 16;
+
+  Vertex n_;
+  int lmax_;
+  bool sampling_;
+  ett::Forest* forest0_;  // owned via forests_[0], cached for hot paths
+  std::unique_ptr<std::atomic<ett::Forest*>[]> forests_;
+  ShardedEdgeMap<EdgeInfo> edges_;
+  std::unique_ptr<ShardedU64Map<AdjSet>[]> adj_;
+
+ private:
+  void collect_level_arcs(const ett::Node* x, std::vector<Edge>& out) const;
+  bool sample_scan(int i, ett::Node* x, ett::Node* other_root, Edge* out,
+                   int& budget);
+};
+
+}  // namespace condyn

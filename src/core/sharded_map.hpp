@@ -1,0 +1,104 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+#include "util/cacheline.hpp"
+#include "util/random.hpp"
+#include "util/spinlock.hpp"
+
+namespace condyn {
+
+/// Sharded hash map from 64-bit keys to records with stable addresses.
+///
+/// Uses in this library:
+///  * arc-node tables of each ETT forest (key = canonical edge key);
+///  * the per-edge state table of the full algorithm (Listing 5's
+///    `ConcurrentHashMap<Edge, State>`);
+///  * per-level non-spanning adjacency sets (key = vertex).
+///
+/// Records are allocated once and never move or die until clear()/dtor, so a
+/// caller may hold a Record* and CAS its atomic fields without a reclamation
+/// protocol; "removed" is a state value, not an erased entry (erase() exists
+/// for writer-only tables such as arc maps). Lookups take a per-shard
+/// spinlock only to find/insert the record — the record's fields themselves
+/// are then accessed lock-free or under the owning component's lock.
+template <typename Record>
+class ShardedU64Map {
+ public:
+  explicit ShardedU64Map(unsigned shards = 64)
+      : shards_(shards), table_(std::make_unique<Shard[]>(shards)) {}
+
+  Record* find(uint64_t key) const {
+    Shard& s = shard(key);
+    std::lock_guard<SpinLock> lk(s.mu);
+    auto it = s.map.find(key);
+    return it == s.map.end() ? nullptr : it->second.get();
+  }
+
+  Record* get_or_create(uint64_t key) {
+    Shard& s = shard(key);
+    std::lock_guard<SpinLock> lk(s.mu);
+    auto& slot = s.map[key];
+    if (!slot) slot = std::make_unique<Record>();
+    return slot.get();
+  }
+
+  /// Physically erase (only safe when no thread can hold the pointer).
+  void erase(uint64_t key) {
+    Shard& s = shard(key);
+    std::lock_guard<SpinLock> lk(s.mu);
+    s.map.erase(key);
+  }
+
+  void clear() {
+    for (unsigned i = 0; i < shards_; ++i) {
+      std::lock_guard<SpinLock> lk(table_[i].mu);
+      table_[i].map.clear();
+    }
+  }
+
+  /// Visit every record (takes each shard lock in turn).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (unsigned i = 0; i < shards_; ++i) {
+      std::lock_guard<SpinLock> lk(table_[i].mu);
+      for (auto& [k, rec] : table_[i].map) f(k, *rec);
+    }
+  }
+
+ private:
+  struct alignas(kCacheLine) Shard {
+    mutable SpinLock mu;
+    std::unordered_map<uint64_t, std::unique_ptr<Record>> map;
+  };
+
+  Shard& shard(uint64_t key) const { return table_[mix64(key) % shards_]; }
+
+  unsigned shards_;
+  std::unique_ptr<Shard[]> table_;
+};
+
+/// Edge-keyed convenience wrapper.
+template <typename Record>
+class ShardedEdgeMap {
+ public:
+  explicit ShardedEdgeMap(unsigned shards = 64) : map_(shards) {}
+
+  Record* find(const Edge& e) const { return map_.find(e.key()); }
+  Record* get_or_create(const Edge& e) { return map_.get_or_create(e.key()); }
+  void erase(const Edge& e) { map_.erase(e.key()); }
+  void clear() { map_.clear(); }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    map_.for_each([&](uint64_t k, Record& r) { f(Edge::from_key(k), r); });
+  }
+
+ private:
+  ShardedU64Map<Record> map_;
+};
+
+}  // namespace condyn

@@ -1,0 +1,13 @@
+#include "core/stats.hpp"
+
+namespace condyn::op_stats {
+
+namespace {
+thread_local Counters t_counters;
+}
+
+Counters& local() noexcept { return t_counters; }
+
+void reset_local() noexcept { t_counters = Counters{}; }
+
+}  // namespace condyn::op_stats

@@ -1,0 +1,27 @@
+#include "graph/cc.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/dsu.hpp"
+
+namespace condyn {
+
+ComponentInfo connected_components(Vertex n, const std::vector<Edge>& edges) {
+  Dsu dsu(n);
+  for (const Edge& e : edges) dsu.unite(e.u, e.v);
+
+  ComponentInfo info;
+  info.label.resize(n);
+  std::unordered_map<Vertex, std::size_t> sizes;
+  for (Vertex v = 0; v < n; ++v) {
+    info.label[v] = dsu.find(v);
+    ++sizes[info.label[v]];
+  }
+  info.num_components = dsu.num_components();
+  for (const auto& [root, sz] : sizes)
+    info.largest_component = std::max(info.largest_component, sz);
+  return info;
+}
+
+}  // namespace condyn

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace condyn {
+
+/// Static connected components over an edge list (DSU-based).
+/// Test oracle: after any sequence of dynamic operations, the dynamic
+/// structure's connected() must agree with labels computed here from the
+/// current edge set.
+struct ComponentInfo {
+  std::vector<Vertex> label;      ///< label[v] = component id (root vertex)
+  Vertex num_components = 0;
+  std::size_t largest_component = 0;
+};
+
+ComponentInfo connected_components(Vertex n, const std::vector<Edge>& edges);
+
+inline ComponentInfo connected_components(const Graph& g) {
+  return connected_components(g.num_vertices(), g.edges());
+}
+
+}  // namespace condyn

@@ -1,0 +1,3 @@
+#include "graph/dsu.hpp"
+
+// Header-only; this TU anchors the target in the build.

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace condyn {
+
+/// Disjoint-set union with path halving + union by size.
+///
+/// Role in this repo: (a) the *incremental-only* connectivity baseline the
+/// related-work section contrasts against, (b) the oracle used by tests to
+/// validate every dynamic-connectivity variant after rebuilds.
+class Dsu {
+ public:
+  explicit Dsu(Vertex n) : parent_(n), size_(n, 1), components_(n) {
+    for (Vertex i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  Vertex find(Vertex x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the union merged two distinct components.
+  bool unite(Vertex a, Vertex b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  bool connected(Vertex a, Vertex b) noexcept { return find(a) == find(b); }
+
+  Vertex num_components() const noexcept { return components_; }
+  Vertex component_size(Vertex x) noexcept { return size_[find(x)]; }
+  Vertex num_vertices() const noexcept { return static_cast<Vertex>(parent_.size()); }
+
+ private:
+  std::vector<Vertex> parent_;
+  std::vector<Vertex> size_;
+  Vertex components_;
+};
+
+}  // namespace condyn

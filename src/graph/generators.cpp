@@ -1,0 +1,238 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "util/random.hpp"
+
+namespace condyn::gen {
+
+namespace {
+
+/// Draw distinct edges until `m` survive dedup; standard rejection sampling,
+/// efficient while m is well below n^2/2.
+void sample_distinct_edges(std::unordered_set<uint64_t>& out, Vertex lo,
+                           Vertex hi, std::size_t m, Xoshiro256& rng) {
+  const uint64_t span = hi - lo;
+  if (span < 2) return;
+  const std::size_t max_edges = static_cast<std::size_t>(span) * (span - 1) / 2;
+  m = std::min(m, max_edges);
+  std::size_t added = 0;
+  while (added < m) {
+    Vertex a = lo + static_cast<Vertex>(rng.next_below(span));
+    Vertex b = lo + static_cast<Vertex>(rng.next_below(span));
+    if (a == b) continue;
+    if (out.insert(Edge(a, b).key()).second) ++added;
+  }
+}
+
+Graph from_keys(Vertex n, const std::unordered_set<uint64_t>& keys,
+                std::string name) {
+  std::vector<Edge> edges;
+  edges.reserve(keys.size());
+  for (uint64_t k : keys) edges.push_back(Edge::from_key(k));
+  Graph g(n, std::move(edges));
+  g.name = std::move(name);
+  return g;
+}
+
+}  // namespace
+
+Graph erdos_renyi(Vertex n, std::size_t m, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::unordered_set<uint64_t> keys;
+  keys.reserve(m * 2);
+  sample_distinct_edges(keys, 0, n, m, rng);
+  return from_keys(n, keys, "random");
+}
+
+Graph random_components(Vertex n, std::size_t m, unsigned k, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::unordered_set<uint64_t> keys;
+  keys.reserve(m * 2);
+  const Vertex block = n / k;
+  for (unsigned i = 0; i < k; ++i) {
+    const Vertex lo = i * block;
+    const Vertex hi = (i + 1 == k) ? n : lo + block;
+    sample_distinct_edges(keys, lo, hi, m / k, rng);
+  }
+  return from_keys(n, keys, "random-" + std::to_string(k) + "-components");
+}
+
+Graph rmat(Vertex n_pow2, std::size_t m, double a, double b, double c,
+           uint64_t seed) {
+  Xoshiro256 rng(seed);
+  unsigned levels = 0;
+  while ((Vertex{1} << levels) < n_pow2) ++levels;
+  const Vertex n = Vertex{1} << levels;
+
+  std::unordered_set<uint64_t> keys;
+  keys.reserve(m * 2);
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = m * 64 + 1024;  // RMAT repeats edges a lot
+  while (added < m && attempts++ < max_attempts) {
+    Vertex u = 0, v = 0;
+    for (unsigned bit = 0; bit < levels; ++bit) {
+      // Slightly perturb quadrant probabilities per level (standard noise to
+      // avoid exact-degree artifacts).
+      const double p = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (p < a) {
+        // quadrant (0,0)
+      } else if (p < a + b) {
+        v |= 1;
+      } else if (p < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (keys.insert(Edge(u, v).key()).second) ++added;
+  }
+  return from_keys(n, keys, "rmat");
+}
+
+Graph road_like(Vertex n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const Vertex side = std::max<Vertex>(2, static_cast<Vertex>(std::sqrt(double(n))));
+  const Vertex nn = side * side;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(nn) * 2);
+  auto id = [side](Vertex r, Vertex c) { return r * side + c; };
+  for (Vertex r = 0; r < side; ++r) {
+    for (Vertex c = 0; c < side; ++c) {
+      // Keep ~60% of grid edges: the road graph is connected but sparse
+      // (|E| ~= 1.2 |V|) and loses connectivity quickly under deletions,
+      // which is the property the paper calls out for USA roads.
+      if (c + 1 < side && rng.next_double() < 0.62)
+        edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < side && rng.next_double() < 0.62)
+        edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  Graph g(nn, std::move(edges));
+  g.name = "road-like";
+  return g;
+}
+
+namespace {
+
+double logd(double x) { return std::log(std::max(2.0, x)); }
+
+Graph p_usa_roads(double s, uint64_t seed) {
+  auto g = road_like(static_cast<Vertex>(435666 * s), seed);
+  g.name = "usa-roads";
+  return g;
+}
+Graph p_twitter(double s, uint64_t seed) {
+  // |V|=81306, |E|=1342296 -> density ~33; RMAT with strong skew.
+  auto g = rmat(static_cast<Vertex>(81306 * s),
+                static_cast<std::size_t>(1342296 * s), 0.57, 0.19, 0.19, seed);
+  g.name = "twitter-like";
+  return g;
+}
+Graph p_stanford(double s, uint64_t seed) {
+  auto g = rmat(static_cast<Vertex>(281903 * s),
+                static_cast<std::size_t>(1992636 * s), 0.45, 0.22, 0.22, seed);
+  g.name = "stanford-web-like";
+  return g;
+}
+Graph p_rand_e_v(double s, uint64_t seed) {
+  const Vertex n = static_cast<Vertex>(400000 * s);
+  auto g = erdos_renyi(n, n, seed);
+  g.name = "random-|E|=|V|";
+  return g;
+}
+Graph p_rand_2e(double s, uint64_t seed) {
+  const Vertex n = static_cast<Vertex>(300000 * s);
+  auto g = erdos_renyi(n, std::size_t{2} * n, seed);
+  g.name = "random-|E|=2|V|";
+  return g;
+}
+Graph p_rand_nlogn(double s, uint64_t seed) {
+  const Vertex n = static_cast<Vertex>(100000 * s);
+  auto g = erdos_renyi(n, static_cast<std::size_t>(n * logd(n) / std::log(2.0) * 0.96),
+                       seed);
+  g.name = "random-|E|=|V|log|V|";
+  return g;
+}
+Graph p_rand_nsqrtn(double s, uint64_t seed) {
+  const Vertex n = static_cast<Vertex>(20000 * s);
+  auto g = erdos_renyi(n, static_cast<std::size_t>(double(n) * std::sqrt(double(n))),
+                       seed);
+  g.name = "random-|E|=|V|sqrt|V|";
+  return g;
+}
+Graph p_rand_10comp(double s, uint64_t seed) {
+  const Vertex n = static_cast<Vertex>(100000 * s);
+  auto g = random_components(n, std::size_t{16} * n, 10, seed);
+  g.name = "random-10-components";
+  return g;
+}
+
+Graph p_full_usa(double s, uint64_t seed) {
+  auto g = road_like(static_cast<Vertex>(23900000 * s), seed);
+  g.name = "full-usa-roads";
+  return g;
+}
+Graph p_livejournal(double s, uint64_t seed) {
+  auto g = rmat(static_cast<Vertex>(4800000 * s),
+                static_cast<std::size_t>(42900000 * s), 0.57, 0.19, 0.19, seed);
+  g.name = "livejournal-like";
+  return g;
+}
+Graph p_kron(double s, uint64_t seed) {
+  auto g = rmat(static_cast<Vertex>(2100000 * s),
+                static_cast<std::size_t>(91000000 * s), 0.57, 0.19, 0.19, seed);
+  g.name = "kron";
+  return g;
+}
+Graph p_rand_large(double s, uint64_t seed) {
+  auto g = erdos_renyi(static_cast<Vertex>(4200000 * s),
+                       static_cast<std::size_t>(48000000 * s), seed);
+  g.name = "random-large";
+  return g;
+}
+
+}  // namespace
+
+const std::vector<Preset>& small_graph_presets() {
+  static const std::vector<Preset> presets = {
+      {"usa-roads", p_usa_roads},
+      {"twitter-like", p_twitter},
+      {"stanford-web-like", p_stanford},
+      {"random-|E|=|V|", p_rand_e_v},
+      {"random-|E|=2|V|", p_rand_2e},
+      {"random-|E|=|V|log|V|", p_rand_nlogn},
+      {"random-|E|=|V|sqrt|V|", p_rand_nsqrtn},
+      {"random-10-components", p_rand_10comp},
+  };
+  return presets;
+}
+
+const std::vector<Preset>& large_graph_presets() {
+  static const std::vector<Preset> presets = {
+      {"full-usa-roads", p_full_usa},
+      {"livejournal-like", p_livejournal},
+      {"kron", p_kron},
+      {"random-large", p_rand_large},
+  };
+  return presets;
+}
+
+Graph make_preset(const char* name, double scale, uint64_t seed) {
+  for (const auto& p : small_graph_presets())
+    if (std::string(p.name) == name) return p.make(scale, seed);
+  for (const auto& p : large_graph_presets())
+    if (std::string(p.name) == name) return p.make(scale, seed);
+  throw std::invalid_argument("unknown graph preset: " + std::string(name));
+}
+
+}  // namespace condyn::gen

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace condyn::gen {
+
+/// Graph generators reproducing the paper's evaluation inputs (Tables 1–2).
+/// Real-world datasets (USA roads, Twitter, Stanford web, LiveJournal, Kron)
+/// are not redistributable offline, so each has a synthetic stand-in with
+/// matching |V|/|E| ratio and degree structure; DESIGN.md §2 records the
+/// substitutions and why they preserve the evaluation's shape.
+
+/// Erdős–Rényi G(n, m): exactly m distinct uniform random edges (no loops).
+/// Matches the paper's "Random" family.
+Graph erdos_renyi(Vertex n, std::size_t m, uint64_t seed);
+
+/// Erdős–Rényi split into k equally sized blocks with no cross-block edges —
+/// the paper's "Random, 10 components" graph.
+Graph random_components(Vertex n, std::size_t m, unsigned k, uint64_t seed);
+
+/// RMAT / stochastic-Kronecker generator (Chakrabarti et al.); a,b,c are the
+/// quadrant probabilities (d = 1-a-b-c). Produces the heavy-tailed degree
+/// distributions of social/web graphs: stand-in for Twitter, Stanford web,
+/// LiveJournal and the DIMACS Kron graph.
+Graph rmat(Vertex n_pow2, std::size_t m, double a, double b, double c,
+           uint64_t seed);
+
+/// Road-network stand-in: a sqrt(n) x sqrt(n) grid (planar, degree <= 4) with
+/// a fraction of edges randomly removed and a few random shortcuts added,
+/// keeping |E| ~= 1.2 |V| like the Colorado/full USA road graphs.
+Graph road_like(Vertex n, uint64_t seed);
+
+/// Named presets matching the paper's tables. The scale factor multiplies
+/// |V| and |E| (default benchmarks run scaled-down stand-ins; pass 1.0 for
+/// paper-sized graphs on a big machine).
+struct Preset {
+  const char* name;
+  Graph (*make)(double scale, uint64_t seed);
+};
+
+/// Table 1 (small graphs): usa-roads, twitter, stanford-web, random-|E|=|V|,
+/// random-|E|=2|V|, random-|E|=|V|log|V|, random-|E|=|V|sqrt|V|,
+/// random-10-components.
+const std::vector<Preset>& small_graph_presets();
+
+/// Table 2 (large graphs): full-usa-roads, livejournal, kron, random-large.
+const std::vector<Preset>& large_graph_presets();
+
+Graph make_preset(const char* name, double scale, uint64_t seed);
+
+}  // namespace condyn::gen

@@ -1,0 +1,43 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace condyn {
+
+Graph::Graph(Vertex n, std::vector<Edge> edges) : n_(n) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges_.reserve(edges.size());
+  for (const Edge& e : edges) {
+    assert(e.u < n_ && e.v < n_ && "edge endpoint out of range");
+    if (e.u != e.v) edges_.push_back(e);  // strip loops
+  }
+}
+
+bool Graph::add_edge(Vertex a, Vertex b) {
+  assert(a < n_ && b < n_);
+  if (a == b) return false;
+  Edge e(a, b);
+  // Linear dedup would be O(m^2); callers that bulk-build use the
+  // vector constructor. This path is for small incremental construction.
+  if (std::find(edges_.begin(), edges_.end(), e) != edges_.end()) return false;
+  edges_.push_back(e);
+  adj_built_ = false;
+  return true;
+}
+
+const std::vector<std::vector<Vertex>>& Graph::adjacency() const {
+  if (!adj_built_) {
+    adj_.assign(n_, {});
+    for (const Edge& e : edges_) {
+      adj_[e.u].push_back(e.v);
+      adj_[e.v].push_back(e.u);
+    }
+    adj_built_ = true;
+  }
+  return adj_;
+}
+
+}  // namespace condyn

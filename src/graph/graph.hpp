@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace condyn {
+
+using Vertex = uint32_t;
+
+/// Undirected edge with canonical orientation (u <= v). Loops are invalid for
+/// dynamic connectivity (the paper strips them); the canonicalizer asserts.
+struct Edge {
+  Vertex u = 0;
+  Vertex v = 0;
+
+  Edge() = default;
+  Edge(Vertex a, Vertex b) noexcept : u(a < b ? a : b), v(a < b ? b : a) {}
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+
+  /// Stable 64-bit key (canonical), used by hash maps and state tables.
+  uint64_t key() const noexcept {
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+  static Edge from_key(uint64_t k) noexcept {
+    return Edge(static_cast<Vertex>(k >> 32), static_cast<Vertex>(k & 0xffffffffu));
+  }
+};
+
+struct EdgeHash {
+  std::size_t operator()(const Edge& e) const noexcept {
+    uint64_t z = e.key() * 0x9e3779b97f4a7c15ULL;
+    z ^= z >> 29;
+    z *= 0xbf58476d1ce4e5b9ULL;
+    return static_cast<std::size_t>(z ^ (z >> 32));
+  }
+};
+
+/// Simple undirected graph as a deduplicated edge list — the exchange format
+/// between generators, workloads and connectivity structures. Mirrors the
+/// paper's evaluation inputs (Tables 1–2): loops and multi-edges are removed
+/// because they do not affect connectivity.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(Vertex n) : n_(n) {}
+  Graph(Vertex n, std::vector<Edge> edges);
+
+  Vertex num_vertices() const noexcept { return n_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Append an edge; ignores loops and duplicates. Returns true if added.
+  bool add_edge(Vertex a, Vertex b);
+
+  /// Adjacency lists (built on demand, cached).
+  const std::vector<std::vector<Vertex>>& adjacency() const;
+
+  /// Average degree 2|E|/|V|.
+  double density() const noexcept {
+    return n_ == 0 ? 0.0 : 2.0 * static_cast<double>(edges_.size()) / n_;
+  }
+
+  std::string name;  ///< display name used in benchmark tables
+
+ private:
+  Vertex n_ = 0;
+  std::vector<Edge> edges_;
+  mutable std::vector<std::vector<Vertex>> adj_;  // lazily built
+  mutable bool adj_built_ = false;
+};
+
+}  // namespace condyn

@@ -1,0 +1,100 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace condyn::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("graph io: " + what);
+}
+
+std::ifstream open(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) fail("cannot open " + path);
+  return f;
+}
+
+}  // namespace
+
+Graph load_snap(std::istream& in) {
+  std::vector<Edge> edges;
+  Vertex max_v = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t a, b;
+    if (!(ls >> a >> b)) continue;
+    if (a == b) continue;
+    max_v = std::max<Vertex>(max_v, static_cast<Vertex>(std::max(a, b)));
+    edges.emplace_back(static_cast<Vertex>(a), static_cast<Vertex>(b));
+  }
+  return Graph(max_v + 1, std::move(edges));
+}
+
+Graph load_snap_file(const std::string& path) {
+  auto f = open(path);
+  Graph g = load_snap(f);
+  g.name = path;
+  return g;
+}
+
+Graph load_dimacs(std::istream& in) {
+  std::vector<Edge> edges;
+  Vertex n = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char tag;
+    ls >> tag;
+    if (tag == 'c') continue;
+    if (tag == 'p') {
+      std::string kind;
+      uint64_t nn, mm;
+      if (!(ls >> kind >> nn >> mm)) fail("bad DIMACS problem line");
+      n = static_cast<Vertex>(nn);
+      edges.reserve(mm);
+    } else if (tag == 'a' || tag == 'e') {
+      uint64_t a, b;
+      if (!(ls >> a >> b)) fail("bad DIMACS arc line");
+      if (a == 0 || b == 0) fail("DIMACS vertices are 1-based");
+      if (a == b) continue;
+      edges.emplace_back(static_cast<Vertex>(a - 1), static_cast<Vertex>(b - 1));
+    }
+  }
+  if (n == 0) fail("missing DIMACS problem line");
+  return Graph(n, std::move(edges));
+}
+
+Graph load_dimacs_file(const std::string& path) {
+  auto f = open(path);
+  Graph g = load_dimacs(f);
+  g.name = path;
+  return g;
+}
+
+void save_snap(const Graph& g, std::ostream& out) {
+  out << "# condyn graph: " << g.name << "\n# nodes: " << g.num_vertices()
+      << " edges: " << g.num_edges() << "\n";
+  for (const Edge& e : g.edges()) out << e.u << '\t' << e.v << '\n';
+}
+
+void save_snap_file(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) fail("cannot write " + path);
+  save_snap(g, f);
+}
+
+Graph load_auto(const std::string& path) {
+  if (path.size() >= 3 && path.substr(path.size() - 3) == ".gr")
+    return load_dimacs_file(path);
+  return load_snap_file(path);
+}
+
+}  // namespace condyn::io

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace condyn::io {
+
+/// Graph file IO. Two formats:
+///  * SNAP edge list ("u v" per line, '#' comments) — the format of the
+///    Twitter / Stanford web / LiveJournal datasets the paper uses;
+///  * DIMACS ("p sp n m" header, "a u v w" arcs, 1-based) — the format of
+///    the USA-roads shortest-path challenge graphs.
+/// Loops and multi-edges are stripped on load (paper §5.1). With these
+/// loaders a user who *does* have the original datasets can run every
+/// benchmark on them unmodified.
+
+Graph load_snap(std::istream& in);
+Graph load_snap_file(const std::string& path);
+
+Graph load_dimacs(std::istream& in);
+Graph load_dimacs_file(const std::string& path);
+
+void save_snap(const Graph& g, std::ostream& out);
+void save_snap_file(const Graph& g, const std::string& path);
+
+/// Load by extension: ".gr" => DIMACS, anything else => SNAP edge list.
+Graph load_auto(const std::string& path);
+
+}  // namespace condyn::io

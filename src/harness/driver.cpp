@@ -1,0 +1,238 @@
+#include "harness/driver.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "api/factory.hpp"
+#include "util/random.hpp"
+
+namespace condyn::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Sense-reversing spin barrier for phase changes (start / measure / stop).
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned n) : n_(n) {}
+  void arrive_and_wait() noexcept {
+    const uint32_t gen = gen_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      count_.store(0, std::memory_order_relaxed);
+      gen_.fetch_add(1, std::memory_order_release);
+    } else {
+      while (gen_.load(std::memory_order_acquire) == gen) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  unsigned n_;
+  std::atomic<uint32_t> count_{0};
+  std::atomic<uint32_t> gen_{0};
+};
+
+struct ThreadTotals {
+  uint64_t ops = 0;
+  op_stats::Counters op_counters;
+  lock_stats::Counters lock_counters;
+};
+
+RunResult combine(const std::vector<ThreadTotals>& totals, double elapsed_ms,
+                  unsigned threads) {
+  RunResult r;
+  r.elapsed_ms = elapsed_ms;
+  uint64_t wait_ns = 0;
+  for (const ThreadTotals& t : totals) {
+    r.total_ops += t.ops;
+    r.op_counters += t.op_counters;
+    r.lock_counters.wait_ns += t.lock_counters.wait_ns;
+    r.lock_counters.acquisitions += t.lock_counters.acquisitions;
+    r.lock_counters.contended += t.lock_counters.contended;
+    wait_ns += t.lock_counters.wait_ns;
+  }
+  r.ops_per_ms = elapsed_ms > 0 ? r.total_ops / elapsed_ms : 0;
+  const double total_ns = elapsed_ms * 1e6 * threads;
+  r.active_time_percent =
+      total_ns > 0
+          ? 100.0 * (total_ns - std::min<double>(wait_ns, total_ns)) / total_ns
+          : 100.0;
+  return r;
+}
+
+}  // namespace
+
+RunResult run_random(DynamicConnectivity& dc, const Graph& g,
+                     const RunConfig& cfg) {
+  for (const Edge& e : random_half(g, cfg.seed)) dc.add_edge(e.u, e.v);
+
+  std::atomic<int> phase{0};  // 0 = warmup, 1 = measure, 2 = stop
+  SpinBarrier start(cfg.threads + 1);
+  std::vector<ThreadTotals> totals(cfg.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      RandomOpStream stream(g, cfg.read_percent,
+                            mix64(cfg.seed ^ (0x9e37 + t)));
+      auto exec = [&](const RandomOpStream::Op& op) {
+        switch (op.kind) {
+          case RandomOpStream::Kind::kConnected:
+            dc.connected(op.u, op.v);
+            break;
+          case RandomOpStream::Kind::kAdd:
+            dc.add_edge(op.u, op.v);
+            break;
+          case RandomOpStream::Kind::kRemove:
+            dc.remove_edge(op.u, op.v);
+            break;
+        }
+      };
+      start.arrive_and_wait();
+      while (phase.load(std::memory_order_acquire) == 0) exec(stream.next());
+      // Measurement starts with clean per-thread counters.
+      op_stats::reset_local();
+      lock_stats::reset_local();
+      uint64_t ops = 0;
+      while (phase.load(std::memory_order_acquire) == 1) {
+        exec(stream.next());
+        ++ops;
+      }
+      totals[t].ops = ops;
+      totals[t].op_counters = op_stats::local();
+      totals[t].lock_counters = lock_stats::local();
+    });
+  }
+
+  start.arrive_and_wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.warmup_ms));
+  const auto t0 = Clock::now();
+  phase.store(1, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.measure_ms));
+  phase.store(2, std::memory_order_release);
+  const double elapsed = ms_since(t0);
+  for (auto& w : workers) w.join();
+  return combine(totals, elapsed, cfg.threads);
+}
+
+namespace {
+
+/// Finite-run driver shared by the incremental and decremental scenarios:
+/// each worker applies `op` to its stripe of the edge list; the measured
+/// window is first-op to last-completion.
+template <typename OpFn>
+RunResult run_finite(const Graph& g, unsigned threads, OpFn&& op) {
+  SpinBarrier start(threads + 1);
+  std::vector<ThreadTotals> totals(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::vector<Edge> mine = stripe(g.edges(), t, threads);
+      start.arrive_and_wait();
+      op_stats::reset_local();
+      lock_stats::reset_local();
+      for (const Edge& e : mine) op(e);
+      totals[t].ops = mine.size();
+      totals[t].op_counters = op_stats::local();
+      totals[t].lock_counters = lock_stats::local();
+    });
+  }
+  start.arrive_and_wait();
+  const auto t0 = Clock::now();
+  for (auto& w : workers) w.join();
+  const double elapsed = ms_since(t0);
+  return combine(totals, elapsed, threads);
+}
+
+}  // namespace
+
+RunResult run_incremental(DynamicConnectivity& dc, const Graph& g,
+                          const RunConfig& cfg) {
+  return run_finite(g, cfg.threads,
+                    [&](const Edge& e) { dc.add_edge(e.u, e.v); });
+}
+
+RunResult run_decremental(DynamicConnectivity& dc, const Graph& g,
+                          const RunConfig& cfg) {
+  for (const Edge& e : g.edges()) dc.add_edge(e.u, e.v);
+  return run_finite(g, cfg.threads,
+                    [&](const Edge& e) { dc.remove_edge(e.u, e.v); });
+}
+
+RunResult run_scenario(Scenario s, DynamicConnectivity& dc, const Graph& g,
+                       const RunConfig& cfg) {
+  switch (s) {
+    case Scenario::kRandom:
+      return run_random(dc, g, cfg);
+    case Scenario::kIncremental:
+      return run_incremental(dc, g, cfg);
+    case Scenario::kDecremental:
+      return run_decremental(dc, g, cfg);
+  }
+  return {};
+}
+
+namespace {
+
+uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* s = std::getenv(name);
+  return s != nullptr && *s != '\0' ? std::strtoull(s, nullptr, 10) : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  return s != nullptr && *s != '\0' ? std::strtod(s, nullptr) : fallback;
+}
+
+}  // namespace
+
+EnvConfig env_config() {
+  EnvConfig cfg;
+  cfg.warmup_ms = static_cast<int>(env_u64("DC_BENCH_WARMUP", 100));
+  cfg.measure_ms = static_cast<int>(env_u64("DC_BENCH_MILLIS", 300));
+  cfg.scale = env_double("DC_BENCH_SCALE", 0.05);
+  cfg.seed = env_u64("DC_BENCH_SEED", 42);
+  cfg.full = env_u64("DC_BENCH_FULL", 0) != 0;
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (const char* s = std::getenv("DC_BENCH_THREADS"); s != nullptr && *s) {
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      const unsigned t = static_cast<unsigned>(std::stoul(item));
+      if (t > 0) cfg.thread_counts.push_back(t);
+    }
+  }
+  if (cfg.thread_counts.empty()) {
+    for (unsigned t = 1; t <= 2 * hw; t *= 2) cfg.thread_counts.push_back(t);
+  }
+
+  if (const char* s = std::getenv("DC_BENCH_VARIANTS"); s != nullptr && *s) {
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      bool numeric = !item.empty();
+      for (char c : item) numeric = numeric && c >= '0' && c <= '9';
+      if (numeric) {
+        cfg.variants.push_back(std::stoi(item));
+      } else {
+        for (const VariantInfo& v : all_variants())
+          if (item == v.name) cfg.variants.push_back(v.id);
+      }
+    }
+  }
+  return cfg;
+}
+
+}  // namespace condyn::harness

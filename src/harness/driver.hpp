@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/dynamic_connectivity.hpp"
+#include "core/stats.hpp"
+#include "graph/graph.hpp"
+#include "harness/workload.hpp"
+#include "util/lock_stats.hpp"
+
+namespace condyn::harness {
+
+/// One benchmark execution's configuration. Defaults come from the
+/// environment so every bench binary scales from laptop-quick to paper-size
+/// without recompilation (see env_config() and DESIGN.md §3):
+///   DC_BENCH_MILLIS   measurement window per data point      (default 300)
+///   DC_BENCH_WARMUP   warmup window per data point           (default 100)
+///   DC_BENCH_THREADS  comma list of thread counts            (default
+///                     "1,2,4,8" capped at 2*hardware_concurrency)
+///   DC_BENCH_SCALE    graph size multiplier                  (default 0.05)
+///   DC_BENCH_SEED     base RNG seed                          (default 42)
+///   DC_BENCH_FULL     1 = paper-size graphs, all variants    (default 0)
+struct RunConfig {
+  unsigned threads = 1;
+  int read_percent = 80;   ///< random scenario only
+  uint64_t seed = 42;
+  int warmup_ms = 100;     ///< random scenario only (finite runs need none)
+  int measure_ms = 300;
+};
+
+/// Aggregated measurements of one run.
+struct RunResult {
+  double ops_per_ms = 0;         ///< total completed operations per ms
+  double active_time_percent = 100;  ///< 100 * (1 - lock-wait share)
+  uint64_t total_ops = 0;
+  double elapsed_ms = 0;
+  op_stats::Counters op_counters;       ///< summed over worker threads
+  lock_stats::Counters lock_counters;   ///< summed over worker threads
+};
+
+/// Random-subset scenario (§5.1): pre-fills dc with a random half of g's
+/// edges, then `threads` workers execute the read/add/remove mix for the
+/// configured window. The structure is left in whatever state the run ends
+/// in — use a fresh instance per run.
+RunResult run_random(DynamicConnectivity& dc, const Graph& g,
+                     const RunConfig& cfg);
+
+/// Incremental scenario: workers insert the whole graph, striped, into the
+/// (empty) structure; the run measures time-to-completion.
+RunResult run_incremental(DynamicConnectivity& dc, const Graph& g,
+                          const RunConfig& cfg);
+
+/// Decremental scenario: pre-fills dc with all of g, then workers erase
+/// their stripes; measures time-to-completion.
+RunResult run_decremental(DynamicConnectivity& dc, const Graph& g,
+                          const RunConfig& cfg);
+
+RunResult run_scenario(Scenario s, DynamicConnectivity& dc, const Graph& g,
+                       const RunConfig& cfg);
+
+/// Benchmark-wide knobs resolved from the environment (see RunConfig docs).
+struct EnvConfig {
+  std::vector<unsigned> thread_counts;
+  int warmup_ms;
+  int measure_ms;
+  double scale;
+  uint64_t seed;
+  bool full;
+  /// Variant ids to run, resolved from DC_BENCH_VARIANTS (comma list of ids
+  /// or names); empty = caller's default set.
+  std::vector<int> variants;
+};
+
+EnvConfig env_config();
+
+}  // namespace condyn::harness

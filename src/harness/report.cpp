@@ -1,0 +1,94 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace condyn::harness {
+
+SeriesReport::SeriesReport(std::string title, std::string unit,
+                           std::vector<unsigned> thread_counts)
+    : title_(std::move(title)),
+      unit_(std::move(unit)),
+      thread_counts_(std::move(thread_counts)) {}
+
+void SeriesReport::begin_graph(const std::string& graph_name) {
+  blocks_.push_back(Block{graph_name, {}});
+}
+
+void SeriesReport::add_point(const std::string& variant, unsigned threads,
+                             double value) {
+  Block& b = blocks_.back();
+  auto it = std::find_if(b.rows.begin(), b.rows.end(),
+                         [&](const Row& r) { return r.variant == variant; });
+  if (it == b.rows.end()) {
+    b.rows.push_back(Row{variant, std::vector<double>(thread_counts_.size(),
+                                                      -1.0)});
+    it = b.rows.end() - 1;
+  }
+  for (std::size_t i = 0; i < thread_counts_.size(); ++i) {
+    if (thread_counts_[i] == threads) it->values[i] = value;
+  }
+}
+
+void SeriesReport::print() const {
+  std::printf("== %s  [%s] ==\n", title_.c_str(), unit_.c_str());
+  for (const Block& b : blocks_) {
+    std::printf("\nGraph: %s\n", b.graph.c_str());
+    std::printf("%-22s", "variant \\ threads");
+    for (unsigned t : thread_counts_) std::printf("%10u", t);
+    std::printf("\n");
+    for (const Row& r : b.rows) {
+      std::printf("%-22s", r.variant.c_str());
+      for (double v : r.values) {
+        if (v < 0) {
+          std::printf("%10s", "-");
+        } else {
+          std::printf("%10.1f", v);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+TableReport::TableReport(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TableReport::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TableReport::print() const {
+  std::printf("== %s ==\n", title_.c_str());
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    std::printf("\n");
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string TableReport::pct(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  return buf;
+}
+
+std::string TableReport::num(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  return buf;
+}
+
+}  // namespace condyn::harness

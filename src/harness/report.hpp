@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/driver.hpp"
+
+namespace condyn::harness {
+
+/// Plot-shaped text output: one block per graph, one row per variant, one
+/// column per thread count — the series behind each sub-plot of the paper's
+/// figures. `unit` labels the measured quantity ("ops/ms" for the throughput
+/// figures, "active %" for Figures 7/8/11/12).
+class SeriesReport {
+ public:
+  SeriesReport(std::string title, std::string unit,
+               std::vector<unsigned> thread_counts);
+
+  void begin_graph(const std::string& graph_name);
+  void add_point(const std::string& variant, unsigned threads, double value);
+  /// Render everything collected so far to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    std::string variant;
+    std::vector<double> values;  // indexed like thread_counts_
+  };
+  struct Block {
+    std::string graph;
+    std::vector<Row> rows;
+  };
+
+  std::string title_;
+  std::string unit_;
+  std::vector<unsigned> thread_counts_;
+  std::vector<Block> blocks_;
+};
+
+/// Simple aligned key/column table for the statistics tables (Tables 3, 4).
+class TableReport {
+ public:
+  explicit TableReport(std::string title, std::vector<std::string> columns);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+  static std::string pct(double value);   // "93.4"
+  static std::string num(double value);   // "12345.6"
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace condyn::harness

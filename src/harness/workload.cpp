@@ -1,0 +1,41 @@
+#include "harness/workload.hpp"
+
+#include <algorithm>
+
+namespace condyn::harness {
+
+const char* scenario_name(Scenario s) noexcept {
+  switch (s) {
+    case Scenario::kRandom:
+      return "random";
+    case Scenario::kIncremental:
+      return "incremental";
+    case Scenario::kDecremental:
+      return "decremental";
+  }
+  return "?";
+}
+
+std::vector<Edge> random_half(const Graph& g, uint64_t seed) {
+  std::vector<Edge> all = g.edges();
+  Xoshiro256 rng(seed);
+  // Fisher-Yates prefix shuffle: the first half is a uniform subset.
+  const std::size_t half = all.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::size_t j = i + rng.next_below(all.size() - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(half);
+  return all;
+}
+
+std::vector<Edge> stripe(const std::vector<Edge>& edges, unsigned thread,
+                         unsigned num_threads) {
+  std::vector<Edge> out;
+  out.reserve(edges.size() / num_threads + 1);
+  for (std::size_t i = thread; i < edges.size(); i += num_threads)
+    out.push_back(edges[i]);
+  return out;
+}
+
+}  // namespace condyn::harness

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace condyn::harness {
+
+/// The three benchmark scenarios of paper §5.1.
+enum class Scenario {
+  kRandom,       ///< half the graph pre-inserted; random mixed operations
+  kIncremental,  ///< threads insert the whole graph into an empty structure
+  kDecremental,  ///< threads erase every edge from a full structure
+};
+
+const char* scenario_name(Scenario s) noexcept;
+
+/// Per-thread operation stream for the *random subset* scenario: every draw
+/// picks a uniformly random graph edge and an operation type so that the
+/// percentage of additions equals the percentage of removals (keeping the
+/// live edge count roughly constant, §5.1).
+class RandomOpStream {
+ public:
+  enum class Kind : uint8_t { kConnected, kAdd, kRemove };
+
+  RandomOpStream(const Graph& g, int read_percent, uint64_t seed)
+      : edges_(&g.edges()), read_percent_(read_percent), rng_(seed) {}
+
+  struct Op {
+    Kind kind;
+    Vertex u, v;
+  };
+
+  Op next() noexcept {
+    const Edge& e = (*edges_)[rng_.next_below(edges_->size())];
+    const uint64_t roll = rng_.next_below(100);
+    Kind k = Kind::kConnected;
+    if (roll >= static_cast<uint64_t>(read_percent_)) {
+      k = (roll - read_percent_) % 2 == 0 ? Kind::kAdd : Kind::kRemove;
+    }
+    return {k, e.u, e.v};
+  }
+
+ private:
+  const std::vector<Edge>* edges_;
+  int read_percent_;
+  Xoshiro256 rng_;
+};
+
+/// Deterministic half-of-the-graph subset used to pre-fill the structure in
+/// the random scenario (the other half starts absent).
+std::vector<Edge> random_half(const Graph& g, uint64_t seed);
+
+/// Striped partition of the edge list for the incremental / decremental
+/// scenarios: thread t of T handles edges t, t+T, t+2T, ...
+std::vector<Edge> stripe(const std::vector<Edge>& edges, unsigned thread,
+                         unsigned num_threads);
+
+}  // namespace condyn::harness

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace condyn {
+
+/// Emit a CPU pause/yield hint appropriate for busy-wait loops.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Truncated exponential backoff for contended CAS/spin loops.
+///
+/// Doubles the number of pause hints per round up to a cap, then yields the
+/// thread so oversubscribed runs (more threads than cores) keep making
+/// progress.
+class Backoff {
+ public:
+  explicit Backoff(uint32_t cap = 1024) noexcept : cap_(cap) {}
+
+  void pause() noexcept {
+    if (cur_ >= cap_) {
+      std::this_thread::yield();
+      return;
+    }
+    for (uint32_t i = 0; i < cur_; ++i) cpu_relax();
+    cur_ *= 2;
+  }
+
+  void reset() noexcept { cur_ = 1; }
+
+ private:
+  uint32_t cur_ = 1;
+  uint32_t cap_;
+};
+
+}  // namespace condyn

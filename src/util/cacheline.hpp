@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace condyn {
+
+/// Cache line size used for alignment of contended shared state. A fixed
+/// constant (not std::hardware_destructive_interference_size, whose value is
+/// tuning-flag dependent and would leak into the ABI) — 64 bytes is correct
+/// for every x86-64 and mainstream AArch64 part this library targets.
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace condyn

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace condyn::lock_stats {
+
+/// Thread-local accounting of time spent *waiting* for locks, used to
+/// reproduce the paper's "active time rate" figures (Figs 7, 8, 11, 12):
+/// active% = (wall time - lock wait time) / wall time.
+///
+/// Locks call add_wait() only on the slow path (first acquisition attempt
+/// failed), so uncontended operations pay no clock reads.
+
+struct Counters {
+  uint64_t wait_ns = 0;      ///< nanoseconds spent spinning/blocking on locks
+  uint64_t acquisitions = 0; ///< total successful exclusive acquisitions
+  uint64_t contended = 0;    ///< acquisitions that hit the slow path
+};
+
+/// Counters of the calling thread (valid for the thread's lifetime).
+Counters& local() noexcept;
+
+/// Reset the calling thread's counters (harness calls this at phase start).
+void reset_local() noexcept;
+
+inline uint64_t now_ns() noexcept {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline void add_wait(uint64_t ns) noexcept { local().wait_ns += ns; }
+inline void add_acquisition(bool was_contended) noexcept {
+  auto& c = local();
+  ++c.acquisitions;
+  c.contended += was_contended ? 1 : 0;
+}
+
+}  // namespace condyn::lock_stats

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <atomic>
+
+#include "util/backoff.hpp"
+#include "util/cacheline.hpp"
+#include "util/lock_stats.hpp"
+
+namespace condyn {
+
+/// Test-and-test-and-set spinlock with exponential backoff.
+///
+/// This is the lock used for coarse-grained variant (1) and for the
+/// per-component fine-grained locks of variants (6), (8), (9). It satisfies
+/// the SharedLockable-ish interface used by the variant templates:
+/// lock_shared() aliases to lock() for exclusive-only locks, so read
+/// operations "under the lock" compile uniformly.
+class SpinLock {
+ public:
+  SpinLock() noexcept = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void lock() noexcept {
+    if (try_lock()) {
+      lock_stats::add_acquisition(false);
+      return;
+    }
+    const uint64_t t0 = lock_stats::now_ns();
+    Backoff backoff;
+    for (;;) {
+      while (locked_.load(std::memory_order_relaxed)) backoff.pause();
+      if (!locked_.exchange(true, std::memory_order_acquire)) break;
+    }
+    lock_stats::add_wait(lock_stats::now_ns() - t0);
+    lock_stats::add_acquisition(true);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  // Exclusive-only lock: shared mode degrades to exclusive.
+  void lock_shared() noexcept { lock(); }
+  void unlock_shared() noexcept { unlock(); }
+
+  bool is_locked() const noexcept {
+    return locked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace condyn

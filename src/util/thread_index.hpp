@@ -1,0 +1,20 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace condyn {
+
+/// Process-wide dense small thread id (0, 1, 2, ...), assigned on first use.
+/// The combining substrates index their publication slot arrays with it.
+/// Ids are never recycled — with the 256-slot arrays used here that supports
+/// any realistic benchmark/test process.
+inline unsigned thread_index() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+inline constexpr unsigned kMaxThreadIndex = 4096;
+
+}  // namespace condyn

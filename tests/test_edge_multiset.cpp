@@ -1,0 +1,156 @@
+#include "core/edge_multiset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "util/ebr.hpp"
+
+namespace condyn {
+namespace {
+
+std::vector<Vertex> contents(const VertexMultiset& ms) {
+  std::vector<Vertex> out;
+  auto guard = ebr::pin();
+  ms.for_each([&](Vertex v) {
+    out.push_back(v);
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(VertexMultiset, StartsEmpty) {
+  VertexMultiset ms;
+  EXPECT_TRUE(contents(ms).empty());
+  EXPECT_TRUE(ms.empty_hint());
+}
+
+TEST(VertexMultiset, AddAndIterate) {
+  VertexMultiset ms;
+  ms.add(3);
+  ms.add(1);
+  ms.add(2);
+  EXPECT_EQ(contents(ms), (std::vector<Vertex>{1, 2, 3}));
+  EXPECT_EQ(ms.approx_size(), 3u);
+}
+
+TEST(VertexMultiset, DuplicatesCoexist) {
+  VertexMultiset ms;
+  ms.add(7);
+  ms.add(7);
+  ms.add(7);
+  EXPECT_EQ(contents(ms), (std::vector<Vertex>{7, 7, 7}));
+  EXPECT_TRUE(ms.remove_one(7));
+  EXPECT_EQ(contents(ms), (std::vector<Vertex>{7, 7}));
+}
+
+TEST(VertexMultiset, RemoveMissingFails) {
+  VertexMultiset ms;
+  ms.add(1);
+  EXPECT_FALSE(ms.remove_one(2));
+  EXPECT_TRUE(ms.remove_one(1));
+  EXPECT_FALSE(ms.remove_one(1));
+  EXPECT_TRUE(contents(ms).empty());
+}
+
+TEST(VertexMultiset, EarlyStopIteration) {
+  VertexMultiset ms;
+  for (Vertex v = 0; v < 10; ++v) ms.add(v);
+  int seen = 0;
+  auto guard = ebr::pin();
+  ms.for_each([&](Vertex) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(VertexMultiset, RemovalDuringIterationIsSafe) {
+  VertexMultiset ms;
+  for (Vertex v = 0; v < 20; ++v) ms.add(v);
+  auto guard = ebr::pin();
+  std::vector<Vertex> seen;
+  ms.for_each([&](Vertex v) {
+    seen.push_back(v);
+    ms.remove_one(v);  // removing the visited element must not derail
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_TRUE(contents(ms).empty());
+}
+
+TEST(VertexMultisetStress, ConcurrentAddRemoveBalances) {
+  // Producers add k copies of their id, consumers remove them; afterwards
+  // the multiset must hold exactly the never-removed sentinel values.
+  constexpr unsigned kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  VertexMultiset ms;
+  ms.add(999999);  // sentinel that must survive
+
+  std::vector<std::thread> threads;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) ms.add(p);
+    });
+  }
+  for (auto& t : threads) t.join();
+  threads.clear();
+
+  std::atomic<int> removed{0};
+  for (unsigned p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      int mine = 0;
+      while (mine < kPerProducer) {
+        if (ms.remove_one(p)) ++mine;
+      }
+      removed.fetch_add(mine);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(removed.load(), static_cast<int>(kProducers) * kPerProducer);
+  EXPECT_EQ(contents(ms), (std::vector<Vertex>{999999}));
+}
+
+TEST(VertexMultisetStress, ScanWhileMutating) {
+  // A scanner continuously iterates while mutators churn; every value the
+  // scanner reports must be one that was inserted at some point (no torn
+  // cells), and scans terminate.
+  VertexMultiset ms;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scans{0};
+
+  std::thread scanner([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto guard = ebr::pin();
+      ms.for_each([&](Vertex v) {
+        EXPECT_LT(v, 64u);
+        return true;
+      });
+      scans.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> mutators;
+  for (int m = 0; m < 3; ++m) {
+    mutators.emplace_back([&, m] {
+      for (int i = 0; i < 20000; ++i) {
+        const Vertex v = static_cast<Vertex>((i * 7 + m * 13) % 64);
+        ms.add(v);
+        ms.remove_one(v);
+      }
+    });
+  }
+  for (auto& t : mutators) t.join();
+  stop.store(true, std::memory_order_release);
+  scanner.join();
+  EXPECT_GT(scans.load(), 0u);
+}
+
+}  // namespace
+}  // namespace condyn

@@ -1,0 +1,111 @@
+#include "core/edge_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace condyn {
+namespace {
+
+TEST(EdgeState, DefaultIsRemoved) {
+  EdgeState s;
+  EXPECT_EQ(s.status(), EdgeStatus::kRemoved);
+  EXPECT_EQ(s.level(), 0);
+  EXPECT_EQ(s.stamp(), 0u);
+  EXPECT_FALSE(s.present());
+}
+
+TEST(EdgeState, PackRoundTrip) {
+  for (EdgeStatus st :
+       {EdgeStatus::kRemoved, EdgeStatus::kInitial, EdgeStatus::kNonSpanning,
+        EdgeStatus::kSpanning, EdgeStatus::kInProgress}) {
+    for (int level : {0, 1, 5, 31, 255}) {
+      for (uint64_t stamp : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 40}) {
+        EdgeState s(st, level, stamp);
+        EXPECT_EQ(s.status(), st);
+        EXPECT_EQ(s.level(), level);
+        EXPECT_EQ(s.stamp(), stamp);
+      }
+    }
+  }
+}
+
+TEST(EdgeState, WithKeepsStamp) {
+  EdgeState s(EdgeStatus::kInitial, 0, 77);
+  EdgeState t = s.with(EdgeStatus::kNonSpanning, 3);
+  EXPECT_EQ(t.status(), EdgeStatus::kNonSpanning);
+  EXPECT_EQ(t.level(), 3);
+  EXPECT_EQ(t.stamp(), 77u);
+  EXPECT_NE(s, t);
+}
+
+TEST(EdgeState, PresentClassification) {
+  EXPECT_FALSE(EdgeState(EdgeStatus::kRemoved, 0, 1).present());
+  EXPECT_FALSE(EdgeState(EdgeStatus::kInitial, 0, 1).present());
+  EXPECT_TRUE(EdgeState(EdgeStatus::kNonSpanning, 0, 1).present());
+  EXPECT_TRUE(EdgeState(EdgeStatus::kSpanning, 2, 1).present());
+  EXPECT_TRUE(EdgeState(EdgeStatus::kInProgress, 0, 1).present());
+}
+
+TEST(EdgeStateCell, CasRefreshesExpectedOnFailure) {
+  EdgeStateCell cell;
+  EdgeState cur = cell.load();
+  ASSERT_TRUE(cell.cas(cur, EdgeState(EdgeStatus::kInitial, 0, 1)));
+
+  EdgeState stale;  // default (removed, stamp 0) — no longer current
+  EXPECT_FALSE(cell.cas(stale, EdgeState(EdgeStatus::kInitial, 0, 2)));
+  EXPECT_EQ(stale, EdgeState(EdgeStatus::kInitial, 0, 1));  // refreshed
+}
+
+TEST(EdgeStateMap, MissingEdgeReadsRemoved) {
+  EdgeStateMap map;
+  EXPECT_EQ(map.load(Edge(1, 2)).status(), EdgeStatus::kRemoved);
+}
+
+TEST(EdgeStateMap, CellsAreStable) {
+  EdgeStateMap map;
+  EdgeStateCell* c1 = map.cell(Edge(3, 4));
+  EdgeStateCell* c2 = map.cell(Edge(4, 3));  // canonical orientation
+  EXPECT_EQ(c1, c2);
+  c1->store(EdgeState(EdgeStatus::kSpanning, 1, 9));
+  EXPECT_EQ(map.load(Edge(3, 4)).level(), 1);
+}
+
+TEST(EdgeStateCell, ConcurrentCasOneWinnerPerTransition) {
+  // N threads all race INITIAL -> NON-SPANNING for the same stamp; exactly
+  // one CAS per incarnation may win (the state machine's atomicity).
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2000;
+  EdgeStateCell cell;
+  std::atomic<int> winners{0};
+  std::atomic<int> round_gate{0};
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        while (round_gate.load(std::memory_order_acquire) < r) {
+        }
+        EdgeState expect(EdgeStatus::kInitial, 0, static_cast<uint64_t>(r));
+        if (cell.cas(expect,
+                     EdgeState(EdgeStatus::kNonSpanning, 0,
+                               static_cast<uint64_t>(r)))) {
+          winners.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int r = 0; r < kRounds; ++r) {
+    cell.store(EdgeState(EdgeStatus::kInitial, 0, static_cast<uint64_t>(r)));
+    round_gate.store(r, std::memory_order_release);
+    while (cell.load().status() != EdgeStatus::kNonSpanning) {
+    }
+  }
+  round_gate.store(kRounds, std::memory_order_release);
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(winners.load(), kRounds);
+}
+
+}  // namespace
+}  // namespace condyn

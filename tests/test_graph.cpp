@@ -1,0 +1,208 @@
+// Graph substrate tests: edge canonicalization, generators (paper Tables
+// 1-2 stand-ins), file IO round-trips, DSU and static-CC oracles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "graph/cc.hpp"
+#include "graph/dsu.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace condyn {
+namespace {
+
+// --------------------------------------------------------------------------
+// Edge / Graph basics
+// --------------------------------------------------------------------------
+
+TEST(Edge, CanonicalOrientationAndKey) {
+  const Edge a(7, 3);
+  EXPECT_EQ(a.u, 3u);
+  EXPECT_EQ(a.v, 7u);
+  EXPECT_EQ(a, Edge(3, 7));
+  EXPECT_EQ(Edge::from_key(a.key()), a);
+  EXPECT_NE(Edge(1, 2).key(), Edge(2, 3).key());
+}
+
+TEST(Graph, DeduplicatesAndSkipsLoops) {
+  Graph g(5);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate in other orientation
+  EXPECT_FALSE(g.add_edge(2, 2));  // loop
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.density(), 2.0 / 5.0);
+}
+
+TEST(Graph, AdjacencyMatchesEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const auto& adj = g.adjacency();
+  ASSERT_EQ(adj.size(), 4u);
+  EXPECT_EQ(adj[1].size(), 2u);
+  EXPECT_TRUE(adj[3].empty());
+  std::size_t total = 0;
+  for (const auto& nbrs : adj) total += nbrs.size();
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+// --------------------------------------------------------------------------
+// Generators
+// --------------------------------------------------------------------------
+
+TEST(Generators, ErdosRenyiExactSizeAndDeterminism) {
+  Graph g1 = gen::erdos_renyi(500, 1200, 42);
+  Graph g2 = gen::erdos_renyi(500, 1200, 42);
+  Graph g3 = gen::erdos_renyi(500, 1200, 43);
+  EXPECT_EQ(g1.num_vertices(), 500u);
+  EXPECT_EQ(g1.num_edges(), 1200u);
+  EXPECT_EQ(g1.edges(), g2.edges()) << "same seed must reproduce";
+  EXPECT_NE(g1.edges(), g3.edges()) << "different seed must differ";
+  for (const Edge& e : g1.edges()) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_LT(e.v, 500u);
+  }
+}
+
+TEST(Generators, RandomComponentsAreIsolated) {
+  const unsigned k = 10;
+  Graph g = gen::random_components(1000, 4000, k, 7);
+  const Vertex block = 1000 / k;
+  for (const Edge& e : g.edges())
+    EXPECT_EQ(e.u / block, e.v / block) << "cross-block edge " << e.u << "-"
+                                        << e.v;
+  const ComponentInfo cc = connected_components(g);
+  EXPECT_GE(cc.num_components, k);
+  EXPECT_LE(cc.largest_component, 1000u / k);
+}
+
+TEST(Generators, RmatIsHeavyTailed) {
+  Graph g = gen::rmat(1 << 10, 8000, 0.57, 0.19, 0.19, 5);
+  std::vector<std::size_t> deg(g.num_vertices(), 0);
+  for (const Edge& e : g.edges()) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  const std::size_t dmax = *std::max_element(deg.begin(), deg.end());
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(static_cast<double>(dmax), 5 * avg)
+      << "RMAT stand-in must show degree skew (social-graph shape)";
+}
+
+TEST(Generators, RoadLikeIsSparseLowDegree) {
+  Graph g = gen::road_like(5000, 3);
+  EXPECT_NEAR(g.density(), 2.4, 0.8);  // |E| ~ 1.2 |V|
+  std::vector<std::size_t> deg(g.num_vertices(), 0);
+  for (const Edge& e : g.edges()) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  EXPECT_LE(*std::max_element(deg.begin(), deg.end()), 8u)
+      << "road networks have bounded degree";
+}
+
+TEST(Generators, PresetsCoverPaperTables) {
+  EXPECT_EQ(gen::small_graph_presets().size(), 8u);  // Table 1
+  EXPECT_EQ(gen::large_graph_presets().size(), 4u);  // Table 2
+  for (const auto& p : gen::small_graph_presets()) {
+    Graph g = p.make(0.01, 1);
+    EXPECT_GT(g.num_vertices(), 0u) << p.name;
+    EXPECT_GT(g.num_edges(), 0u) << p.name;
+    EXPECT_EQ(g.name, p.name);
+  }
+}
+
+TEST(Generators, ScaleParameterScalesSize) {
+  Graph small = gen::make_preset("twitter-like", 0.01, 1);
+  Graph larger = gen::make_preset("twitter-like", 0.05, 1);
+  EXPECT_GT(larger.num_vertices(), small.num_vertices());
+  EXPECT_GT(larger.num_edges(), 2 * small.num_edges());
+}
+
+// --------------------------------------------------------------------------
+// IO
+// --------------------------------------------------------------------------
+
+TEST(Io, SnapRoundTrip) {
+  Graph g = gen::erdos_renyi(64, 200, 9);
+  std::stringstream ss;
+  io::save_snap(g, ss);
+  Graph back = io::load_snap(ss);
+  EXPECT_GE(back.num_vertices(), 64u - 1);  // trailing isolated nodes may drop
+  std::set<Edge> a(g.edges().begin(), g.edges().end());
+  std::set<Edge> b(back.edges().begin(), back.edges().end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Io, SnapParserSkipsCommentsAndDuplicates) {
+  std::stringstream ss(
+      "# comment line\n"
+      "0 1\n"
+      "1 0\n"   // duplicate, other orientation
+      "2 2\n"   // loop
+      "1 2\n");
+  Graph g = io::load_snap(ss);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, DimacsParser) {
+  std::stringstream ss(
+      "c DIMACS shortest-path format (1-based)\n"
+      "p sp 4 3\n"
+      "a 1 2 5\n"
+      "a 2 3 7\n"
+      "a 3 1 2\n");
+  Graph g = io::load_dimacs(ss);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);  // arcs deduplicated to undirected edges
+  std::set<Edge> got(g.edges().begin(), g.edges().end());
+  EXPECT_TRUE(got.count(Edge(0, 1)));
+  EXPECT_TRUE(got.count(Edge(1, 2)));
+  EXPECT_TRUE(got.count(Edge(0, 2)));
+}
+
+// --------------------------------------------------------------------------
+// Oracles
+// --------------------------------------------------------------------------
+
+TEST(Dsu, UniteFindComponents) {
+  Dsu d(6);
+  EXPECT_EQ(d.num_components(), 6u);
+  EXPECT_TRUE(d.unite(0, 1));
+  EXPECT_TRUE(d.unite(2, 3));
+  EXPECT_FALSE(d.unite(1, 0));
+  EXPECT_TRUE(d.unite(0, 2));
+  EXPECT_EQ(d.num_components(), 3u);
+  EXPECT_TRUE(d.connected(1, 3));
+  EXPECT_FALSE(d.connected(0, 4));
+  EXPECT_EQ(d.component_size(3), 4u);
+}
+
+TEST(StaticCc, MatchesDsuOnRandomGraph) {
+  Graph g = gen::erdos_renyi(200, 300, 13);
+  const ComponentInfo cc = connected_components(g);
+  Dsu d(200);
+  for (const Edge& e : g.edges()) d.unite(e.u, e.v);
+  EXPECT_EQ(cc.num_components, d.num_components());
+  for (Vertex a = 0; a < 200; a += 3)
+    for (Vertex b = a + 1; b < 200; b += 7)
+      EXPECT_EQ(cc.label[a] == cc.label[b], d.connected(a, b));
+}
+
+TEST(StaticCc, LargestComponentComputed) {
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const ComponentInfo cc = connected_components(g);
+  EXPECT_EQ(cc.num_components, 4u);  // {0,1,2} {3,4} {5} {6}
+  EXPECT_EQ(cc.largest_component, 3u);
+}
+
+}  // namespace
+}  // namespace condyn

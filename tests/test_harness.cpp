@@ -1,0 +1,151 @@
+// Benchmark-harness tests: workload generators produce the distributions
+// the scenarios specify, the driver measures and aggregates correctly, and
+// the reports render every collected point.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "api/factory.hpp"
+#include "graph/cc.hpp"
+#include "graph/generators.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+namespace condyn {
+namespace {
+
+TEST(Workload, RandomHalfIsAHalfSubset) {
+  Graph g = gen::erdos_renyi(100, 400, 3);
+  const std::vector<Edge> half = harness::random_half(g, 9);
+  EXPECT_EQ(half.size(), 200u);
+  std::set<Edge> all(g.edges().begin(), g.edges().end());
+  std::set<Edge> chosen(half.begin(), half.end());
+  EXPECT_EQ(chosen.size(), half.size()) << "duplicates in the half";
+  for (const Edge& e : half) EXPECT_TRUE(all.count(e));
+  // Deterministic per seed, different across seeds.
+  EXPECT_EQ(harness::random_half(g, 9), half);
+  EXPECT_NE(harness::random_half(g, 10), half);
+}
+
+TEST(Workload, StripesPartitionTheEdgeList) {
+  Graph g = gen::erdos_renyi(60, 150, 4);
+  const unsigned kThreads = 4;
+  std::vector<Edge> merged;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    const auto s = harness::stripe(g.edges(), t, kThreads);
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  EXPECT_EQ(merged.size(), g.num_edges());
+  std::set<Edge> uniq(merged.begin(), merged.end());
+  EXPECT_EQ(uniq.size(), g.num_edges());
+}
+
+TEST(Workload, RandomOpStreamHonorsReadPercent) {
+  Graph g = gen::erdos_renyi(50, 120, 5);
+  for (int read_pct : {0, 80, 99}) {
+    harness::RandomOpStream stream(g, read_pct, 77);
+    int reads = 0, adds = 0, removes = 0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i) {
+      const auto op = stream.next();
+      switch (op.kind) {
+        case harness::RandomOpStream::Kind::kConnected:
+          ++reads;
+          break;
+        case harness::RandomOpStream::Kind::kAdd:
+          ++adds;
+          break;
+        case harness::RandomOpStream::Kind::kRemove:
+          ++removes;
+          break;
+      }
+      EXPECT_NE(op.u, op.v);
+    }
+    EXPECT_NEAR(reads * 100.0 / kDraws, read_pct, 1.5);
+    // Additions and removals must balance (keeps |E| steady, §5.1).
+    if (read_pct < 100) {
+      EXPECT_NEAR(adds, removes, kDraws * 0.02);
+    }
+  }
+}
+
+TEST(Driver, RandomScenarioProducesThroughput) {
+  Graph g = gen::erdos_renyi(200, 600, 6);
+  auto dc = make_variant(3, g.num_vertices());
+  harness::RunConfig cfg;
+  cfg.threads = 2;
+  cfg.read_percent = 80;
+  cfg.warmup_ms = 10;
+  cfg.measure_ms = 40;
+  const harness::RunResult r = harness::run_random(*dc, g, cfg);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.ops_per_ms, 0.0);
+  EXPECT_GE(r.elapsed_ms, cfg.measure_ms * 0.9);
+  EXPECT_GE(r.active_time_percent, 0.0);
+  EXPECT_LE(r.active_time_percent, 100.0);
+  EXPECT_GT(r.op_counters.reads, 0u);
+}
+
+TEST(Driver, IncrementalInsertsWholeGraph) {
+  Graph g = gen::erdos_renyi(150, 500, 7);
+  auto dc = make_variant(9, g.num_vertices());
+  harness::RunConfig cfg;
+  cfg.threads = 3;
+  const harness::RunResult r = harness::run_incremental(*dc, g, cfg);
+  EXPECT_EQ(r.total_ops, g.num_edges());
+  // Everything inserted: structure must agree with the full graph.
+  const ComponentInfo cc = connected_components(g);
+  for (Vertex a = 0; a < 150; a += 11)
+    for (Vertex b = a + 1; b < 150; b += 13)
+      EXPECT_EQ(dc->connected(a, b), cc.label[a] == cc.label[b]);
+}
+
+TEST(Driver, DecrementalEmptiesTheStructure) {
+  Graph g = gen::erdos_renyi(120, 360, 8);
+  auto dc = make_variant(9, g.num_vertices());
+  harness::RunConfig cfg;
+  cfg.threads = 3;
+  const harness::RunResult r = harness::run_decremental(*dc, g, cfg);
+  EXPECT_EQ(r.total_ops, g.num_edges());
+  for (Vertex v = 1; v < 120; v += 7) EXPECT_FALSE(dc->connected(0, v));
+}
+
+TEST(Driver, EnvConfigDefaultsAreSane) {
+  const harness::EnvConfig env = harness::env_config();
+  EXPECT_FALSE(env.thread_counts.empty());
+  for (unsigned t : env.thread_counts) EXPECT_GE(t, 1u);
+  EXPECT_GT(env.measure_ms, 0);
+  EXPECT_GT(env.scale, 0.0);
+}
+
+TEST(Report, SeriesRendersAllPoints) {
+  harness::SeriesReport rep("t", "ops/ms", {1, 2, 4});
+  rep.begin_graph("g1");
+  rep.add_point("coarse", 1, 10);
+  rep.add_point("coarse", 2, 20);
+  rep.add_point("coarse", 4, 40);
+  rep.add_point("full", 1, 15);
+  ::testing::internal::CaptureStdout();
+  rep.print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("g1"), std::string::npos);
+  EXPECT_NE(out.find("coarse"), std::string::npos);
+  EXPECT_NE(out.find("40.0"), std::string::npos);
+  EXPECT_NE(out.find("full"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos);  // missing point placeholder
+}
+
+TEST(Report, TableAlignsColumns) {
+  harness::TableReport t("title", {"a", "long-column"});
+  t.add_row({"x", harness::TableReport::pct(12.34)});
+  ::testing::internal::CaptureStdout();
+  t.print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("long-column"), std::string::npos);
+  EXPECT_NE(out.find("12.3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace condyn

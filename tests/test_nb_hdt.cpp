@@ -1,0 +1,215 @@
+// Tests for the full non-blocking algorithm (paper §4.4 + Appendix C) in all
+// three lock modes: sequential semantics + oracle comparison, edge-status
+// introspection, invariant preservation under churn.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/nb_hdt.hpp"
+#include "graph/cc.hpp"
+#include "graph/dsu.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace condyn {
+namespace {
+
+struct ModeParam {
+  NbLockMode mode;
+  const char* name;
+};
+
+class NbHdtModes : public ::testing::TestWithParam<ModeParam> {};
+
+TEST_P(NbHdtModes, EmptyGraphDisconnected) {
+  NbHdt dc(8, GetParam().mode);
+  EXPECT_FALSE(dc.connected(0, 7));
+  EXPECT_TRUE(dc.connected(3, 3));
+  EXPECT_FALSE(dc.has_edge(0, 1));
+  EXPECT_EQ(dc.edge_level(0, 1), -1);
+}
+
+TEST_P(NbHdtModes, AddRemoveSingleEdge) {
+  NbHdt dc(4, GetParam().mode);
+  EXPECT_TRUE(dc.add_edge(0, 1));
+  EXPECT_TRUE(dc.connected(0, 1));
+  EXPECT_TRUE(dc.is_spanning(0, 1));
+  EXPECT_FALSE(dc.add_edge(1, 0));  // duplicate
+  EXPECT_TRUE(dc.remove_edge(0, 1));
+  EXPECT_FALSE(dc.connected(0, 1));
+  EXPECT_FALSE(dc.remove_edge(0, 1));
+  dc.check_invariants();
+}
+
+TEST_P(NbHdtModes, SelfLoopRejected) {
+  NbHdt dc(4, GetParam().mode);
+  EXPECT_FALSE(dc.add_edge(2, 2));
+  EXPECT_FALSE(dc.remove_edge(2, 2));
+}
+
+TEST_P(NbHdtModes, NonSpanningAddAndRemove) {
+  NbHdt dc(4, GetParam().mode);
+  dc.add_edge(0, 1);
+  dc.add_edge(1, 2);
+  EXPECT_TRUE(dc.add_edge(0, 2));  // closes a triangle -> non-spanning
+  EXPECT_FALSE(dc.is_spanning(0, 2));
+  EXPECT_EQ(dc.edge_level(0, 2), 0);
+  dc.check_invariants();
+  EXPECT_TRUE(dc.remove_edge(0, 2));
+  EXPECT_TRUE(dc.connected(0, 2));
+  dc.check_invariants();
+}
+
+TEST_P(NbHdtModes, ReplacementOnSpanningRemoval) {
+  NbHdt dc(4, GetParam().mode);
+  dc.add_edge(0, 1);
+  dc.add_edge(1, 2);
+  dc.add_edge(0, 2);
+  EXPECT_TRUE(dc.remove_edge(0, 1));
+  EXPECT_TRUE(dc.connected(0, 1));  // reconnected through 0-2-1
+  EXPECT_TRUE(dc.is_spanning(0, 2));
+  EXPECT_FALSE(dc.has_edge(0, 1));
+  dc.check_invariants();
+}
+
+TEST_P(NbHdtModes, ReAddAfterRemoveGetsFreshLife) {
+  NbHdt dc(4, GetParam().mode);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(dc.add_edge(0, 1)) << round;
+    EXPECT_TRUE(dc.remove_edge(0, 1)) << round;
+  }
+  EXPECT_FALSE(dc.connected(0, 1));
+  dc.check_invariants();
+}
+
+TEST_P(NbHdtModes, RingTeardownKeepsFarSideConnected) {
+  const Vertex n = 16;
+  NbHdt dc(n, GetParam().mode);
+  for (Vertex i = 0; i < n; ++i) dc.add_edge(i, (i + 1) % n);
+  for (Vertex i = 0; i + 1 < n / 2; ++i) {
+    EXPECT_TRUE(dc.remove_edge(i, i + 1));
+    EXPECT_TRUE(dc.connected(0, n / 2)) << "after removing edge " << i;
+    dc.check_invariants();
+  }
+}
+
+TEST_P(NbHdtModes, LevelsRiseUnderChurnWithinBounds) {
+  const Vertex n = 32;
+  NbHdt dc(n, GetParam().mode);
+  std::set<Edge> present;
+  for (Vertex a = 0; a < n; ++a)
+    for (Vertex b = a + 1; b < n; b += 1 + a % 3) {
+      dc.add_edge(a, b);
+      present.insert(Edge(a, b));
+    }
+  Xoshiro256 rng(7);
+  std::vector<Edge> edges(present.begin(), present.end());
+  for (int round = 0; round < 200; ++round) {
+    const Edge& e = edges[rng.next_below(edges.size())];
+    if (present.count(e) != 0u) {
+      dc.remove_edge(e.u, e.v);
+      present.erase(e);
+    } else {
+      dc.add_edge(e.u, e.v);
+      present.insert(e);
+    }
+    const int lvl = dc.edge_level(e.u, e.v);
+    EXPECT_LE(lvl, dc.max_level());
+  }
+  dc.check_invariants();
+  // Cross-check final connectivity against a static oracle.
+  const ComponentInfo cc = connected_components(
+      n, std::vector<Edge>(present.begin(), present.end()));
+  for (Vertex a = 0; a < n; ++a)
+    for (Vertex b = a + 1; b < n; b += 3)
+      EXPECT_EQ(dc.connected(a, b), cc.label[a] == cc.label[b]);
+}
+
+TEST_P(NbHdtModes, RandomizedOracleAgreement) {
+  const Vertex n = 64;
+  NbHdt dc(n, GetParam().mode);
+  Xoshiro256 rng(GetParam().mode == NbLockMode::kFine ? 11 : 13);
+  std::set<Edge> present;
+  for (int op = 0; op < 3000; ++op) {
+    const Vertex a = static_cast<Vertex>(rng.next_below(n));
+    Vertex b = static_cast<Vertex>(rng.next_below(n));
+    if (a == b) b = (b + 1) % n;
+    const Edge e(a, b);
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(dc.add_edge(a, b), present.insert(e).second);
+        break;
+      case 1:
+        EXPECT_EQ(dc.remove_edge(a, b), present.erase(e) != 0);
+        break;
+      default: {
+        Dsu oracle(n);
+        for (const Edge& pe : present) oracle.unite(pe.u, pe.v);
+        EXPECT_EQ(dc.connected(a, b), oracle.connected(a, b)) << "op " << op;
+      }
+    }
+    if (op % 500 == 0) dc.check_invariants();
+  }
+  dc.check_invariants();
+}
+
+TEST_P(NbHdtModes, DecrementalTeardownAgreesWithOracle) {
+  Graph g = gen::erdos_renyi(48, 120, 99);
+  NbHdt dc(48, GetParam().mode);
+  for (const Edge& e : g.edges()) dc.add_edge(e.u, e.v);
+  std::vector<Edge> remaining = g.edges();
+  Xoshiro256 rng(3);
+  while (!remaining.empty()) {
+    const std::size_t i = rng.next_below(remaining.size());
+    const Edge e = remaining[i];
+    remaining[i] = remaining.back();
+    remaining.pop_back();
+    EXPECT_TRUE(dc.remove_edge(e.u, e.v));
+    if (remaining.size() % 16 == 0) {
+      dc.check_invariants();
+      const ComponentInfo cc = connected_components(48, remaining);
+      for (Vertex a = 0; a < 48; a += 5)
+        for (Vertex b = a + 1; b < 48; b += 7)
+          ASSERT_EQ(dc.connected(a, b), cc.label[a] == cc.label[b])
+              << remaining.size() << " edges left";
+    }
+  }
+  for (Vertex v = 1; v < 48; ++v) EXPECT_FALSE(dc.connected(0, v));
+}
+
+TEST_P(NbHdtModes, DenseGraphMostlyNonSpanning) {
+  // On a dense graph the structure must classify ~|E|-(n-1) edges as
+  // non-spanning (the premise of the paper's §4.4 optimization).
+  Graph g = gen::erdos_renyi(64, 512, 17);
+  NbHdt dc(64, GetParam().mode);
+  std::size_t spanning = 0;
+  for (const Edge& e : g.edges()) {
+    dc.add_edge(e.u, e.v);
+    if (dc.is_spanning(e.u, e.v)) ++spanning;
+  }
+  EXPECT_LE(spanning, std::size_t{63});
+  dc.check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, NbHdtModes,
+    ::testing::Values(ModeParam{NbLockMode::kFine, "fine"},
+                      ModeParam{NbLockMode::kCoarseSpin, "coarse"},
+                      ModeParam{NbLockMode::kCoarseElision, "elision"}),
+    [](const ::testing::TestParamInfo<ModeParam>& info) {
+      return info.param.name;
+    });
+
+TEST(NbDc, FacadeReportsNameAndSize) {
+  NbDc dc(10, NbLockMode::kFine, "full");
+  EXPECT_EQ(dc.name(), "full");
+  EXPECT_EQ(dc.num_vertices(), 10u);
+  EXPECT_TRUE(dc.add_edge(1, 2));
+  EXPECT_TRUE(dc.connected(1, 2));
+}
+
+}  // namespace
+}  // namespace condyn

@@ -1,0 +1,79 @@
+// Sharded map tests: record stability (the property every lock-free CAS in
+// the repo depends on), concurrent get_or_create races, iteration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_map.hpp"
+
+namespace condyn {
+namespace {
+
+TEST(ShardedU64Map, FindVsCreate) {
+  ShardedU64Map<int> m;
+  EXPECT_EQ(m.find(1), nullptr);
+  int* p = m.get_or_create(1);
+  *p = 42;
+  EXPECT_EQ(m.find(1), p);
+  EXPECT_EQ(*m.find(1), 42);
+  EXPECT_EQ(m.get_or_create(1), p) << "records must be stable";
+}
+
+TEST(ShardedU64Map, EraseAndClear) {
+  ShardedU64Map<int> m;
+  m.get_or_create(1);
+  m.get_or_create(2);
+  m.erase(1);
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_NE(m.find(2), nullptr);
+  m.clear();
+  EXPECT_EQ(m.find(2), nullptr);
+}
+
+TEST(ShardedU64Map, ForEachVisitsAll) {
+  ShardedU64Map<uint64_t> m;
+  for (uint64_t k = 0; k < 300; ++k) *m.get_or_create(k) = k * 2;
+  std::set<uint64_t> keys;
+  m.for_each([&](uint64_t k, uint64_t& v) {
+    EXPECT_EQ(v, k * 2);
+    keys.insert(k);
+  });
+  EXPECT_EQ(keys.size(), 300u);
+}
+
+TEST(ShardedEdgeMap, CanonicalKeys) {
+  ShardedEdgeMap<int> m;
+  *m.get_or_create(Edge(3, 9)) = 5;
+  EXPECT_EQ(*m.find(Edge(9, 3)), 5);
+}
+
+TEST(ShardedU64MapStress, ConcurrentGetOrCreateConverges) {
+  // All threads race to create the same keys; every thread must end up with
+  // the same record pointer per key, and the record must survive the race.
+  ShardedU64Map<std::atomic<int>> m;
+  constexpr int kThreads = 6;
+  constexpr uint64_t kKeys = 500;
+  std::vector<std::vector<std::atomic<int>*>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      seen[t].resize(kKeys);
+      for (uint64_t k = 0; k < kKeys; ++k) {
+        std::atomic<int>* rec = m.get_or_create(k);
+        rec->fetch_add(1, std::memory_order_relaxed);
+        seen[t][k] = rec;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t][k], seen[0][k]);
+    EXPECT_EQ(seen[0][k]->load(), kThreads);
+  }
+}
+
+}  // namespace
+}  // namespace condyn
