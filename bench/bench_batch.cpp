@@ -1,0 +1,55 @@
+// Batch pipeline sweep: batch sizes × variants on the random scenario
+// (80% reads). For every variant the per-op driver (run_random) is the
+// baseline row; each batch size then submits the same operation mix through
+// apply_batch (run_batch), reporting throughput and per-batch latency. The
+// expectation (De Man et al. 2024, and this repo's DESIGN.md §5): variants
+// that amortize a lock or a combiner publication over the batch overtake
+// their own per-op throughput as the batch grows.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace condyn;
+  bench::print_env_banner("batch sweep: random scenario, 80% reads");
+
+  const harness::EnvConfig env = harness::env_config();
+  const std::vector<int> variants =
+      bench::variant_set(env, {1, 3, 6, 9, 12, 13});
+
+  harness::TableReport table(
+      "batched vs per-op throughput",
+      {"graph", "variant", "threads", "batch", "ops/ms", "batch-avg-us",
+       "batch-max-us"});
+
+  for (const Graph& g : bench::small_graphs(env)) {
+    for (int id : variants) {
+      for (unsigned threads : env.thread_counts) {
+        harness::RunConfig cfg;
+        cfg.threads = threads;
+        cfg.read_percent = 80;
+        cfg.seed = env.seed;
+        cfg.warmup_ms = env.warmup_ms;
+        cfg.measure_ms = env.measure_ms;
+
+        auto baseline_dc = make_variant(id, g.num_vertices());
+        const harness::RunResult base =
+            harness::run_random(*baseline_dc, g, cfg);
+        table.add_row({g.name, bench::variant_label(id),
+                       std::to_string(threads), "per-op",
+                       harness::TableReport::num(base.ops_per_ms), "-", "-"});
+
+        for (std::size_t bs : env.batch_sizes) {
+          cfg.batch_size = bs;
+          auto dc = make_variant(id, g.num_vertices());
+          const harness::RunResult r = harness::run_batch(*dc, g, cfg);
+          table.add_row(
+              {g.name, bench::variant_label(id), std::to_string(threads),
+               std::to_string(bs), harness::TableReport::num(r.ops_per_ms),
+               harness::TableReport::num(r.batch_latency_us_avg),
+               harness::TableReport::num(r.batch_latency_us_max)});
+        }
+      }
+    }
+  }
+  table.print();
+  return 0;
+}

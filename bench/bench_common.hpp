@@ -40,9 +40,8 @@ inline std::vector<int> variant_set(const harness::EnvConfig& env,
 }
 
 inline const char* variant_label(int id) {
-  for (const auto& v : all_variants())
-    if (v.id == id) return v.name;
-  return "?";
+  const VariantInfo* v = find_variant(id);
+  return v != nullptr ? v->name : "?";
 }
 
 /// One throughput figure: scenario × graphs × variants × thread counts,
@@ -86,7 +85,7 @@ inline void print_env_banner(const char* what) {
   std::printf(
       "# %s\n# scale=%.3f seed=%llu warmup=%dms measure=%dms full=%d\n"
       "# (env knobs: DC_BENCH_SCALE/SEED/WARMUP/MILLIS/THREADS/VARIANTS/"
-      "FULL)\n\n",
+      "BATCH/FULL)\n\n",
       what, env.full ? 1.0 : env.scale,
       static_cast<unsigned long long>(env.seed), env.warmup_ms,
       env.measure_ms, env.full ? 1 : 0);

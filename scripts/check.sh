@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local mirror of CI: configure, build, run the tier-1 test suite
+# (ROADMAP.md), then smoke-run the batch pipeline. Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S .
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+./build/example_batch_processor
+DC_BENCH_MILLIS=30 DC_BENCH_WARMUP=10 DC_BENCH_THREADS=1 \
+  DC_BENCH_SCALE=0.01 DC_BENCH_VARIANTS=coarse ./build/bench_batch
+
+echo "check.sh: all green"

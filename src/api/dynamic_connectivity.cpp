@@ -1,0 +1,27 @@
+#include "api/dynamic_connectivity.hpp"
+
+namespace condyn {
+
+BatchResult DynamicConnectivity::apply_batch(std::span<const Op> ops) {
+  BatchResult r;
+  r.results.resize(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    bool value = false;
+    switch (op.kind) {
+      case OpKind::kAdd:
+        value = add_edge(op.u, op.v);
+        break;
+      case OpKind::kRemove:
+        value = remove_edge(op.u, op.v);
+        break;
+      case OpKind::kConnected:
+        value = connected(op.u, op.v);
+        break;
+    }
+    r.set(i, op.kind, value);
+  }
+  return r;
+}
+
+}  // namespace condyn

@@ -1,17 +1,79 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 
 namespace condyn {
 
+/// One operation of the batch vocabulary (DESIGN.md §5). The three kinds are
+/// exactly the paper's interface; a batch is simply a program — a sequence of
+/// operations applied in index order.
+enum class OpKind : uint8_t { kAdd, kRemove, kConnected };
+
+struct Op {
+  OpKind kind = OpKind::kConnected;
+  Vertex u = 0;
+  Vertex v = 0;
+
+  static constexpr Op add(Vertex u, Vertex v) noexcept {
+    return {OpKind::kAdd, u, v};
+  }
+  static constexpr Op remove(Vertex u, Vertex v) noexcept {
+    return {OpKind::kRemove, u, v};
+  }
+  static constexpr Op connected(Vertex u, Vertex v) noexcept {
+    return {OpKind::kConnected, u, v};
+  }
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+/// Does the batch contain only connectivity queries? Variants use this for
+/// the pure-read exemption (see apply_batch below): a read-only batch can
+/// run on the variant's read path instead of its update synchronization.
+inline bool all_reads(std::span<const Op> ops) noexcept {
+  for (const Op& op : ops) {
+    if (op.kind != OpKind::kConnected) return false;
+  }
+  return true;
+}
+
+/// Per-operation results of one apply_batch call: results[i] is the boolean
+/// the single-op API would have returned for ops[i], plus summary counters so
+/// callers that only need aggregates never rescan the batch.
+struct BatchResult {
+  std::vector<uint8_t> results;  ///< 0/1 per op, indexed like the input batch
+  uint64_t adds_performed = 0;     ///< adds that changed the graph
+  uint64_t removes_performed = 0;  ///< removes that changed the graph
+  uint64_t queries_true = 0;       ///< connected() calls that answered true
+
+  bool result(std::size_t i) const noexcept { return results[i] != 0; }
+  std::size_t size() const noexcept { return results.size(); }
+
+  /// Record op i's outcome (keeps the counters and results consistent).
+  void set(std::size_t i, OpKind kind, bool value) noexcept {
+    results[i] = value ? 1 : 0;
+    if (!value) return;
+    switch (kind) {
+      case OpKind::kAdd: ++adds_performed; break;
+      case OpKind::kRemove: ++removes_performed; break;
+      case OpKind::kConnected: ++queries_true; break;
+    }
+  }
+};
+
 /// The public interface every algorithm variant implements — the three
 /// operations of the dynamic connectivity problem (paper §1):
-///   addEdge(u,v), removeEdge(u,v), connected(u,v).
+///   addEdge(u,v), removeEdge(u,v), connected(u,v)
+/// plus the batch entry point apply_batch the rest of this repo's pipeline
+/// (harness, benches, combining layer) is built around.
 /// All implementations in this library are linearizable and safe for
-/// arbitrary concurrent use of all three operations.
+/// arbitrary concurrent use of all operations.
 class DynamicConnectivity {
  public:
   virtual ~DynamicConnectivity() = default;
@@ -24,6 +86,18 @@ class DynamicConnectivity {
 
   /// Are u and v in the same connected component?
   virtual bool connected(Vertex u, Vertex v) = 0;
+
+  /// Apply a batch of operations with results equivalent to calling the
+  /// single-op methods in index order. Each operation remains individually
+  /// linearizable; for variants whose VariantCaps::atomic_batch is set (the
+  /// coarse-locked and combining families), a batch containing at least one
+  /// update is additionally atomic with respect to concurrent callers.
+  /// Pure-read batches are exempt even there: on variants with non-blocking
+  /// reads they run as individual lock-free queries, not under the lock.
+  /// The base implementation is the correct single-op fallback loop;
+  /// variants override it to amortize synchronization across the batch
+  /// (DESIGN.md §5).
+  virtual BatchResult apply_batch(std::span<const Op> ops);
 
   virtual Vertex num_vertices() const = 0;
 

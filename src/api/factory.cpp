@@ -2,95 +2,36 @@
 
 #include <stdexcept>
 
-#include "combining/flat_combining.hpp"
-#include "combining/parallel_combining.hpp"
-#include "core/coarse_dc.hpp"
-#include "core/fine_dc.hpp"
-#include "core/nb_hdt.hpp"
-#include "util/elision_lock.hpp"
-#include "util/rw_lock.hpp"
-#include "util/spinlock.hpp"
-
 namespace condyn {
 
 const std::vector<VariantInfo>& all_variants() {
-  static const std::vector<VariantInfo> kVariants = {
-      {1, "coarse", "coarse-grained locking for all operations"},
-      {2, "coarse-rw", "coarse-grained readers-writer lock"},
-      {3, "coarse-nbreads", "coarse-grained updates + non-blocking reads"},
-      {4, "coarse-htm", "coarse-grained with HTM lock elision (all ops)"},
-      {5, "coarse-htm-nbreads",
-       "HTM-elided lock for updates + non-blocking reads"},
-      {6, "fine", "fine-grained per-component locks for all operations"},
-      {7, "fine-rw", "fine-grained readers-writer component locks"},
-      {8, "fine-nbreads", "fine-grained updates + non-blocking reads"},
-      {9, "full",
-       "our algorithm: fine-grained + non-blocking reads + lock-free "
-       "non-spanning updates"},
-      {10, "full-coarse",
-       "our algorithm with a coarse lock for spanning updates"},
-      {11, "full-coarse-htm",
-       "our algorithm with an HTM-elided coarse lock"},
-      {12, "parallel-combining",
-       "parallel combining (Aksenov et al.): batched updates, parallel "
-       "read phase"},
-      {13, "fc-nbreads",
-       "flat combining for updates + our non-blocking reads"},
-  };
-  return kVariants;
+  return VariantRegistry::instance().variants();
+}
+
+const VariantInfo* find_variant(const std::string& name) {
+  return VariantRegistry::instance().find(name);
+}
+
+const VariantInfo* find_variant(int id) {
+  return VariantRegistry::instance().find(id);
 }
 
 std::unique_ptr<DynamicConnectivity> make_variant(int id, Vertex n,
                                                   bool sampling) {
-  switch (id) {
-    case 1:
-      return std::make_unique<CoarseDc<SpinLock, false>>(n, "coarse",
-                                                         sampling);
-    case 2:
-      return std::make_unique<CoarseDc<RwSpinLock, false>>(n, "coarse-rw",
-                                                           sampling);
-    case 3:
-      return std::make_unique<CoarseDc<SpinLock, true>>(n, "coarse-nbreads",
-                                                        sampling);
-    case 4:
-      return std::make_unique<CoarseDc<ElisionLock, false>>(n, "coarse-htm",
-                                                            sampling);
-    case 5:
-      return std::make_unique<CoarseDc<ElisionLock, true>>(
-          n, "coarse-htm-nbreads", sampling);
-    case 6:
-      return std::make_unique<FineDc<FineReadMode::kLocked>>(n, "fine",
-                                                             sampling);
-    case 7:
-      return std::make_unique<FineDc<FineReadMode::kSharedLocks>>(
-          n, "fine-rw", sampling);
-    case 8:
-      return std::make_unique<FineDc<FineReadMode::kNonBlocking>>(
-          n, "fine-nbreads", sampling);
-    case 9:
-      return std::make_unique<NbDc>(n, NbLockMode::kFine, "full", sampling);
-    case 10:
-      return std::make_unique<NbDc>(n, NbLockMode::kCoarseSpin, "full-coarse",
-                                    sampling);
-    case 11:
-      return std::make_unique<NbDc>(n, NbLockMode::kCoarseElision,
-                                    "full-coarse-htm", sampling);
-    case 12:
-      return std::make_unique<ParallelCombiningDc>(n, "parallel-combining",
-                                                   sampling);
-    case 13:
-      return std::make_unique<FlatCombiningDc>(n, "fc-nbreads", sampling);
-    default:
-      throw std::invalid_argument("unknown variant id " + std::to_string(id));
+  const VariantInfo* v = find_variant(id);
+  if (v == nullptr) {
+    throw std::invalid_argument("unknown variant id " + std::to_string(id));
   }
+  return v->make(n, sampling);
 }
 
 std::unique_ptr<DynamicConnectivity> make_variant(const std::string& name,
                                                   Vertex n, bool sampling) {
-  for (const VariantInfo& v : all_variants()) {
-    if (name == v.name) return make_variant(v.id, n, sampling);
+  const VariantInfo* v = find_variant(name);
+  if (v == nullptr) {
+    throw std::invalid_argument("unknown variant name \"" + name + "\"");
   }
-  throw std::invalid_argument("unknown variant name \"" + name + "\"");
+  return v->make(n, sampling);
 }
 
 }  // namespace condyn

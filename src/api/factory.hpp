@@ -4,20 +4,16 @@
 #include <string>
 #include <vector>
 
-#include "api/dynamic_connectivity.hpp"
+#include "api/registry.hpp"
 
 namespace condyn {
 
-/// One evaluated algorithm combination (paper §5.2; numbering kept
-/// consistent with the plots and with DESIGN.md §1).
-struct VariantInfo {
-  int id;            ///< 1..13, the paper's numbering
-  const char* name;  ///< stable identifier used in tables ("coarse", ...)
-  const char* description;
-};
-
-/// All 13 variants, in paper order.
+/// All registered variants, in paper order (1..13 for the built-ins).
 const std::vector<VariantInfo>& all_variants();
+
+/// Lookup by stable name / id; nullptr when unknown.
+const VariantInfo* find_variant(const std::string& name);
+const VariantInfo* find_variant(int id);
 
 /// Construct variant `id` (1..13) for an n-vertex graph. `sampling` toggles
 /// the Iyer-et-al. replacement-sampling heuristic (on for every variant in

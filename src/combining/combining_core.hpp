@@ -3,6 +3,7 @@
 #include <atomic>
 #include <memory>
 
+#include "api/dynamic_connectivity.hpp"
 #include "graph/graph.hpp"
 #include "util/backoff.hpp"
 #include "util/cacheline.hpp"
@@ -16,7 +17,7 @@ namespace condyn::combining {
 /// cache-line-private slot indexed by its process-wide thread_index(); a
 /// thread publishes its operation, and whichever thread holds the combiner
 /// lock executes pending operations on behalf of everyone.
-enum class OpType : uint32_t { kNone, kAdd, kRemove, kConnected };
+enum class OpType : uint32_t { kNone, kAdd, kRemove, kConnected, kBatch };
 
 enum SlotState : uint32_t {
   kEmpty = 0,
@@ -31,6 +32,16 @@ struct alignas(kCacheLine) Slot {
   Vertex u = 0;
   Vertex v = 0;
   bool result = false;
+  /// kBatch publication: the whole batch rides in one slot, so a combiner
+  /// pass costs one synchronization per *batch* per thread instead of one
+  /// per operation. The owner keeps `batch`/`batch_out` alive until the
+  /// combiner flips the slot to kDone. `batch_read_only` (set by the owner
+  /// at publication) lets parallel combining release query-only batches
+  /// into its parallel read phase instead of the sequential update phase.
+  const Op* batch = nullptr;
+  uint32_t batch_len = 0;
+  BatchResult* batch_out = nullptr;
+  bool batch_read_only = false;
 };
 
 class SlotArray {

@@ -31,6 +31,9 @@ void FlatCombiningDc::combine() {
         case OpType::kConnected:
           s.result = hdt_.connected_writer(s.u, s.v);
           break;
+        case OpType::kBatch:
+          hdt_.apply_batch({s.batch, s.batch_len}, *s.batch_out);
+          break;
         case OpType::kNone:
           break;
       }
@@ -39,11 +42,9 @@ void FlatCombiningDc::combine() {
   }
 }
 
-bool FlatCombiningDc::submit(OpType type, Vertex u, Vertex v) {
-  Slot& s = slots_.mine();
-  s.type = type;
-  s.u = u;
-  s.v = v;
+/// Publish the already-filled slot, then spin: either another combiner
+/// executes it, or this thread wins the combiner lock and scans everyone.
+void FlatCombiningDc::submit_and_wait(Slot& s) {
   s.state.store(kPending, std::memory_order_seq_cst);
 
   const uint64_t t0 = lock_stats::now_ns();
@@ -66,7 +67,38 @@ bool FlatCombiningDc::submit(OpType type, Vertex u, Vertex v) {
   const uint64_t total = lock_stats::now_ns() - t0;
   if (total > combining_ns) lock_stats::add_wait(total - combining_ns);
   lock_stats::add_acquisition(true);
+}
+
+bool FlatCombiningDc::submit(OpType type, Vertex u, Vertex v) {
+  Slot& s = slots_.mine();
+  s.type = type;
+  s.u = u;
+  s.v = v;
+  submit_and_wait(s);
   return s.result;
+}
+
+BatchResult FlatCombiningDc::apply_batch(std::span<const Op> ops) {
+  BatchResult r;
+  r.results.resize(ops.size());
+  if (ops.empty()) return r;
+
+  if (all_reads(ops)) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      r.set(i, OpKind::kConnected, hdt_.connected(ops[i].u, ops[i].v));
+    }
+    return r;
+  }
+
+  Slot& s = slots_.mine();
+  s.type = OpType::kBatch;
+  s.batch = ops.data();
+  s.batch_len = static_cast<uint32_t>(ops.size());
+  s.batch_out = &r;
+  submit_and_wait(s);
+  s.batch = nullptr;
+  s.batch_out = nullptr;
+  return r;
 }
 
 }  // namespace condyn

@@ -30,6 +30,12 @@ class FlatCombiningDc final : public DynamicConnectivity {
   }
   bool connected(Vertex u, Vertex v) override { return hdt_.connected(u, v); }
 
+  /// Batched path: the whole batch is published through this thread's slot
+  /// (one publication + one wait per batch instead of per op) and applied
+  /// atomically by whichever thread combines. Pure-read batches bypass the
+  /// combiner entirely on the lock-free read path.
+  BatchResult apply_batch(std::span<const Op> ops) override;
+
   Vertex num_vertices() const override { return hdt_.num_vertices(); }
   std::string name() const override { return name_; }
 
@@ -37,6 +43,7 @@ class FlatCombiningDc final : public DynamicConnectivity {
 
  private:
   bool submit(combining::OpType type, Vertex u, Vertex v);
+  void submit_and_wait(combining::Slot& s);
   void combine();
 
   Hdt hdt_;

@@ -16,9 +16,27 @@ ParallelCombiningDc::ParallelCombiningDc(Vertex n, std::string name,
                                          bool sampling)
     : hdt_(n, sampling), name_(std::move(name)) {}
 
+/// Execute a read-only slot (single query or query-only batch) on the
+/// quiescent structure — shared by the GO read phase (owner side) and the
+/// combiner running its own slot.
+void ParallelCombiningDc::run_reads(Slot& s) {
+  if (s.type == OpType::kBatch) {
+    op_stats::local().reads += s.batch_len;
+    for (uint32_t i = 0; i < s.batch_len; ++i) {
+      const Op& op = s.batch[i];
+      s.batch_out->set(i, OpKind::kConnected,
+                       hdt_.connected_writer(op.u, op.v));
+    }
+  } else {
+    ++op_stats::local().reads;
+    s.result = hdt_.connected_writer(s.u, s.v);
+  }
+}
+
 void ParallelCombiningDc::combine() {
   // Phase 1 — snapshot the batch. Reads are released to run concurrently on
-  // the quiescent structure (their owners execute them); updates are
+  // the quiescent structure (their owners execute them); updates — including
+  // published whole batches, which may mix reads and updates — are
   // remembered for phase 2.
   unsigned updates[combining::SlotArray::size()];
   unsigned n_updates = 0;
@@ -30,12 +48,14 @@ void ParallelCombiningDc::combine() {
   for (unsigned i = 0; i < active; ++i) {
     Slot& s = slots_.at(i);
     if (s.state.load(std::memory_order_seq_cst) != kPending) continue;
-    if (s.type == OpType::kConnected) {
+    const bool read_only =
+        s.type == OpType::kConnected ||
+        (s.type == OpType::kBatch && s.batch_read_only);
+    if (read_only) {
       if (i == me) {
-        // The combiner's own read: executing it via GO would deadlock the
-        // drain loop below, so run it directly (structure is quiescent).
-        ++op_stats::local().reads;
-        s.result = hdt_.connected_writer(s.u, s.v);
+        // The combiner's own read(s): executing them via GO would deadlock
+        // the drain loop below, so run directly (structure is quiescent).
+        run_reads(s);
         s.state.store(kDone, std::memory_order_seq_cst);
       } else {
         s.state.store(kGo, std::memory_order_seq_cst);
@@ -56,19 +76,27 @@ void ParallelCombiningDc::combine() {
   // Phase 2 — apply updates sequentially (single writer).
   for (unsigned k = 0; k < n_updates; ++k) {
     Slot& s = slots_.at(updates[k]);
-    if (s.type == OpType::kAdd)
-      s.result = hdt_.add_edge(s.u, s.v).performed;
-    else
-      s.result = hdt_.remove_edge(s.u, s.v).performed;
+    switch (s.type) {
+      case OpType::kAdd:
+        s.result = hdt_.add_edge(s.u, s.v).performed;
+        break;
+      case OpType::kRemove:
+        s.result = hdt_.remove_edge(s.u, s.v).performed;
+        break;
+      case OpType::kBatch:
+        hdt_.apply_batch({s.batch, s.batch_len}, *s.batch_out);
+        break;
+      default:
+        break;
+    }
     s.state.store(kDone, std::memory_order_seq_cst);
   }
 }
 
-bool ParallelCombiningDc::submit(OpType type, Vertex u, Vertex v) {
-  Slot& s = slots_.mine();
-  s.type = type;
-  s.u = u;
-  s.v = v;
+/// Publish the already-filled slot and spin until it is executed: by a
+/// combiner, by this thread's own combining pass, or (reads only) by this
+/// thread during a GO read phase.
+void ParallelCombiningDc::submit_and_wait(Slot& s) {
   s.state.store(kPending, std::memory_order_seq_cst);
 
   const uint64_t t0 = lock_stats::now_ns();
@@ -78,11 +106,11 @@ bool ParallelCombiningDc::submit(OpType type, Vertex u, Vertex v) {
     const uint32_t st = s.state.load(std::memory_order_seq_cst);
     if (st == kDone) break;
     if (st == kGo) {
-      // Parallel read phase: execute our own query on the quiescent
-      // structure; the combiner is blocked until every GO slot drains.
+      // Parallel read phase: execute our own query / read-only batch on the
+      // quiescent structure; the combiner is blocked until every GO slot
+      // drains.
       const uint64_t c0 = lock_stats::now_ns();
-      ++op_stats::local().reads;
-      s.result = hdt_.connected_writer(s.u, s.v);
+      run_reads(s);
       s.state.store(kDone, std::memory_order_seq_cst);
       useful_ns += lock_stats::now_ns() - c0;
       break;
@@ -100,7 +128,31 @@ bool ParallelCombiningDc::submit(OpType type, Vertex u, Vertex v) {
   const uint64_t total = lock_stats::now_ns() - t0;
   if (total > useful_ns) lock_stats::add_wait(total - useful_ns);
   lock_stats::add_acquisition(true);
+}
+
+bool ParallelCombiningDc::submit(OpType type, Vertex u, Vertex v) {
+  Slot& s = slots_.mine();
+  s.type = type;
+  s.u = u;
+  s.v = v;
+  submit_and_wait(s);
   return s.result;
+}
+
+BatchResult ParallelCombiningDc::apply_batch(std::span<const Op> ops) {
+  BatchResult r;
+  r.results.resize(ops.size());
+  if (ops.empty()) return r;
+  Slot& s = slots_.mine();
+  s.type = OpType::kBatch;
+  s.batch = ops.data();
+  s.batch_len = static_cast<uint32_t>(ops.size());
+  s.batch_out = &r;
+  s.batch_read_only = all_reads(ops);  // eligible for the parallel read phase
+  submit_and_wait(s);
+  s.batch = nullptr;
+  s.batch_out = nullptr;
+  return r;
 }
 
 }  // namespace condyn

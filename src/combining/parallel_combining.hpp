@@ -34,6 +34,15 @@ class ParallelCombiningDc final : public DynamicConnectivity {
     return submit(combining::OpType::kConnected, u, v);
   }
 
+  /// Batched path: the whole (possibly mixed) batch is published through
+  /// this thread's slot — one publication per batch instead of one per op.
+  /// Update-containing batches are applied by the combiner in the
+  /// sequential update phase, after the parallel read phase has drained;
+  /// query-only batches are released into that read phase and executed by
+  /// their owner on the quiescent structure, keeping this variant's
+  /// parallel-read advantage for read batches.
+  BatchResult apply_batch(std::span<const Op> ops) override;
+
   Vertex num_vertices() const override { return hdt_.num_vertices(); }
   std::string name() const override { return name_; }
 
@@ -41,6 +50,8 @@ class ParallelCombiningDc final : public DynamicConnectivity {
 
  private:
   bool submit(combining::OpType type, Vertex u, Vertex v);
+  void submit_and_wait(combining::Slot& s);
+  void run_reads(combining::Slot& s);
   void combine();
 
   Hdt hdt_;

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "api/dynamic_connectivity.hpp"
+
+namespace condyn {
+
+/// Shared walk for batched application (DESIGN.md §5.1), used by the locked
+/// engine (Hdt::apply_batch) and the fine-grained variant so the reorder
+/// semantics live in exactly one place.
+///
+/// Queries are reorder barriers — they observe the whole edge set — so the
+/// batch decomposes into queries and maximal runs of updates between them.
+/// Within a run, updates on distinct edges commute (their return values and
+/// the resulting edge set depend only on per-edge history), which makes a
+/// *stable* sort by canonical edge key semantics-preserving while grouping
+/// same-edge and same-component work back-to-back.
+///
+/// Calls, in batch order:
+///   on_query(i)    — for each kConnected op, i its batch index;
+///   on_run(order)  — for each update run, `order` the run's batch indices
+///                    stably sorted by edge key (valid only for the call).
+template <typename QueryFn, typename RunFn>
+void for_each_batch_run(std::span<const Op> ops, QueryFn&& on_query,
+                        RunFn&& on_run) {
+  std::vector<uint32_t> order;
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    if (ops[i].kind == OpKind::kConnected) {
+      on_query(i);
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < ops.size() && ops[j].kind != OpKind::kConnected) ++j;
+    order.clear();
+    for (std::size_t k = i; k < j; ++k) {
+      order.push_back(static_cast<uint32_t>(k));
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&ops](uint32_t a, uint32_t b) {
+                       return Edge(ops[a].u, ops[a].v).key() <
+                              Edge(ops[b].u, ops[b].v).key();
+                     });
+    on_run(std::span<const uint32_t>(order));
+    i = j;
+  }
+}
+
+}  // namespace condyn

@@ -45,6 +45,40 @@ class CoarseDc final : public DynamicConnectivity {
     }
   }
 
+  /// One lock acquisition for the whole batch — the amortization this
+  /// variant family exists to demonstrate. Update-containing batches are
+  /// atomic with respect to concurrent single ops and batches
+  /// (caps.atomic_batch); with non-blocking reads, pure-read batches skip
+  /// the lock and run as individual lock-free queries instead.
+  BatchResult apply_batch(std::span<const Op> ops) override {
+    BatchResult r;
+    r.results.resize(ops.size());
+    if (ops.empty()) return r;
+    if (all_reads(ops)) {
+      // A pure-read batch never needs exclusivity: answer exactly like a
+      // sequence of single-op connected() calls — lock-free when the
+      // variant reads non-blocking, shared mode otherwise (so coarse-rw
+      // read batches keep their reader parallelism).
+      if constexpr (NonBlockingReads) {
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+          r.set(i, OpKind::kConnected, hdt_.connected(ops[i].u, ops[i].v));
+        }
+      } else {
+        op_stats::local().reads += ops.size();
+        mu_.lock_shared();  // == lock() for exclusive-only locks
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+          r.set(i, OpKind::kConnected,
+                hdt_.connected_writer(ops[i].u, ops[i].v));
+        }
+        mu_.unlock_shared();
+      }
+      return r;
+    }
+    std::lock_guard<Lock> lk(mu_);
+    hdt_.apply_batch(ops, r);
+    return r;
+  }
+
   Vertex num_vertices() const override { return hdt_.num_vertices(); }
   std::string name() const override { return name_; }
 

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "api/dynamic_connectivity.hpp"
+#include "core/batch_runs.hpp"
 #include "core/component_lock.hpp"
 #include "core/hdt.hpp"
 #include "core/stats.hpp"
@@ -53,6 +54,49 @@ class FineDc final : public DynamicConnectivity {
       ComponentGuard g(hdt_.level0(), u, v);
       return g.same_component();
     }
+  }
+
+  /// Batched path. A single lock acquisition for the whole batch is not
+  /// possible here: component locks live on level-0 roots, and a spanning
+  /// update replaces those roots (a cut commits fresh piece roots), so a
+  /// lock set taken up front stops excluding competitors mid-batch. Instead
+  /// the batch stably groups update runs by edge (queries are reorder
+  /// barriers; updates on distinct edges commute) and holds one
+  /// ComponentGuard across consecutive same-edge ops for as long as no op
+  /// touched the spanning forest — exactly the window in which the locked
+  /// roots are still the components' representatives.
+  BatchResult apply_batch(std::span<const Op> ops) override {
+    BatchResult r;
+    r.results.resize(ops.size());
+    for_each_batch_run(
+        ops,
+        [&](std::size_t i) {
+          r.set(i, OpKind::kConnected, connected(ops[i].u, ops[i].v));
+        },
+        [&](std::span<const uint32_t> order) {
+          for (std::size_t p = 0; p < order.size();) {
+            const Op& first = ops[order[p]];
+            if (first.u == first.v) {
+              r.set(order[p], first.kind, false);
+              ++p;
+              continue;
+            }
+            const Edge e(first.u, first.v);
+            ComponentGuard g(hdt_.level0(), e.u, e.v);
+            bool guard_valid = true;
+            while (p < order.size() && guard_valid) {
+              const Op& op = ops[order[p]];
+              if (Edge(op.u, op.v) != e) break;
+              const Hdt::UpdateOutcome o = op.kind == OpKind::kAdd
+                                               ? hdt_.add_edge(op.u, op.v)
+                                               : hdt_.remove_edge(op.u, op.v);
+              r.set(order[p], op.kind, o.performed);
+              ++p;
+              guard_valid = !o.spanning;
+            }
+          }
+        });
+    return r;
   }
 
   Vertex num_vertices() const override { return hdt_.num_vertices(); }

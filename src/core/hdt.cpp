@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "core/batch_runs.hpp"
 #include "core/stats.hpp"
 
 namespace condyn {
@@ -167,6 +168,25 @@ Hdt::UpdateOutcome Hdt::remove_edge(Vertex u, Vertex v) {
     forest0_->cut_commit(h);
   }
   return {true, true};
+}
+
+void Hdt::apply_batch(std::span<const Op> ops, BatchResult& out) {
+  assert(out.results.size() == ops.size());
+  for_each_batch_run(
+      ops,
+      [&](std::size_t i) {
+        out.set(i, OpKind::kConnected, connected_writer(ops[i].u, ops[i].v));
+        ++op_stats::local().reads;
+      },
+      [&](std::span<const uint32_t> order) {
+        for (uint32_t k : order) {
+          const Op& op = ops[k];
+          const bool performed = op.kind == OpKind::kAdd
+                                     ? add_edge(op.u, op.v).performed
+                                     : remove_edge(op.u, op.v).performed;
+          out.set(k, op.kind, performed);
+        }
+      });
 }
 
 void Hdt::collect_level_arcs(const Node* x, std::vector<Edge>& out) const {

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "api/dynamic_connectivity.hpp"
 #include "core/ett.hpp"
 #include "core/sharded_map.hpp"
 #include "graph/graph.hpp"
@@ -62,6 +63,16 @@ class Hdt {
 
   /// Writer: erase (u,v). Returns {performed=false} if absent.
   UpdateOutcome remove_edge(Vertex u, Vertex v);
+
+  /// Writer: apply a whole batch under the caller's lock(s), writing per-op
+  /// outcomes into `out` (whose results vector must already have ops.size()
+  /// entries). Equivalent to applying ops in index order: maximal runs of
+  /// updates between queries are stably grouped by edge — updates on
+  /// distinct edges commute (their return values and the resulting edge set
+  /// depend only on per-edge history), so the reorder preserves sequential
+  /// batch semantics while repeated edges and same-component work apply
+  /// back-to-back (DESIGN.md §5.1).
+  void apply_batch(std::span<const Op> ops, BatchResult& out);
 
   bool has_edge(Vertex u, Vertex v) const;
   bool is_spanning(Vertex u, Vertex v) const;

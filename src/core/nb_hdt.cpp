@@ -864,7 +864,7 @@ void NbHdt::check_invariants() {
           assert(present);
         }
         // Both endpoints connected at the edge's level.
-        Forest* f = forest_if(st.level());
+        [[maybe_unused]] Forest* f = forest_if(st.level());
         assert(f != nullptr);
         assert(ett::find_root(f->vertex_node(e.u)) ==
                ett::find_root(f->vertex_node(e.v)));

@@ -215,6 +215,32 @@ class NbDc final : public DynamicConnectivity {
     return hdt_.connected(u, v);
   }
 
+  /// Batched path: every operation is already lock-free or fine-grained, so
+  /// there is no lock to amortize — the batch runs straight against the
+  /// engine (no per-op virtual dispatch) and stays fully concurrent with
+  /// other threads' ops and batches (not atomic as a whole).
+  BatchResult apply_batch(std::span<const Op> ops) override {
+    BatchResult r;
+    r.results.resize(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const Op& op = ops[i];
+      bool value = false;
+      switch (op.kind) {
+        case OpKind::kAdd:
+          value = hdt_.add_edge(op.u, op.v);
+          break;
+        case OpKind::kRemove:
+          value = hdt_.remove_edge(op.u, op.v);
+          break;
+        case OpKind::kConnected:
+          value = hdt_.connected(op.u, op.v);
+          break;
+      }
+      r.set(i, op.kind, value);
+    }
+    return r;
+  }
+
   Vertex num_vertices() const override { return hdt_.num_vertices(); }
   std::string name() const override { return name_; }
 

@@ -1,5 +1,6 @@
 #include "harness/driver.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -45,6 +46,9 @@ struct ThreadTotals {
   uint64_t ops = 0;
   op_stats::Counters op_counters;
   lock_stats::Counters lock_counters;
+  uint64_t batches = 0;
+  uint64_t batch_ns_total = 0;
+  uint64_t batch_ns_max = 0;
 };
 
 RunResult combine(const std::vector<ThreadTotals>& totals, double elapsed_ms,
@@ -52,6 +56,8 @@ RunResult combine(const std::vector<ThreadTotals>& totals, double elapsed_ms,
   RunResult r;
   r.elapsed_ms = elapsed_ms;
   uint64_t wait_ns = 0;
+  uint64_t batch_ns_total = 0;
+  uint64_t batch_ns_max = 0;
   for (const ThreadTotals& t : totals) {
     r.total_ops += t.ops;
     r.op_counters += t.op_counters;
@@ -59,8 +65,16 @@ RunResult combine(const std::vector<ThreadTotals>& totals, double elapsed_ms,
     r.lock_counters.acquisitions += t.lock_counters.acquisitions;
     r.lock_counters.contended += t.lock_counters.contended;
     wait_ns += t.lock_counters.wait_ns;
+    r.batches += t.batches;
+    batch_ns_total += t.batch_ns_total;
+    batch_ns_max = std::max(batch_ns_max, t.batch_ns_max);
   }
   r.ops_per_ms = elapsed_ms > 0 ? r.total_ops / elapsed_ms : 0;
+  if (r.batches > 0) {
+    r.batch_latency_us_avg =
+        static_cast<double>(batch_ns_total) / r.batches / 1e3;
+    r.batch_latency_us_max = batch_ns_max / 1e3;
+  }
   const double total_ns = elapsed_ms * 1e6 * threads;
   r.active_time_percent =
       total_ns > 0
@@ -85,15 +99,15 @@ RunResult run_random(DynamicConnectivity& dc, const Graph& g,
     workers.emplace_back([&, t] {
       RandomOpStream stream(g, cfg.read_percent,
                             mix64(cfg.seed ^ (0x9e37 + t)));
-      auto exec = [&](const RandomOpStream::Op& op) {
+      auto exec = [&](const Op& op) {
         switch (op.kind) {
-          case RandomOpStream::Kind::kConnected:
+          case OpKind::kConnected:
             dc.connected(op.u, op.v);
             break;
-          case RandomOpStream::Kind::kAdd:
+          case OpKind::kAdd:
             dc.add_edge(op.u, op.v);
             break;
-          case RandomOpStream::Kind::kRemove:
+          case OpKind::kRemove:
             dc.remove_edge(op.u, op.v);
             break;
         }
@@ -163,6 +177,58 @@ RunResult run_incremental(DynamicConnectivity& dc, const Graph& g,
                     [&](const Edge& e) { dc.add_edge(e.u, e.v); });
 }
 
+RunResult run_batch(DynamicConnectivity& dc, const Graph& g,
+                    const RunConfig& cfg) {
+  // Pre-fill through the batch path too: it exercises apply_batch before
+  // measurement starts and amortizes the lock for the coarse variants.
+  for (const std::vector<Op>& b :
+       update_batches(random_half(g, cfg.seed), cfg.batch_size, OpKind::kAdd)) {
+    dc.apply_batch(b);
+  }
+
+  std::atomic<int> phase{0};  // 0 = warmup, 1 = measure, 2 = stop
+  SpinBarrier start(cfg.threads + 1);
+  std::vector<ThreadTotals> totals(cfg.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      RandomBatchStream stream(g, cfg.read_percent, cfg.batch_size,
+                               mix64(cfg.seed ^ (0x9e37 + t)));
+      start.arrive_and_wait();
+      while (phase.load(std::memory_order_acquire) == 0) {
+        dc.apply_batch(stream.next());
+      }
+      op_stats::reset_local();
+      lock_stats::reset_local();
+      ThreadTotals& mine = totals[t];
+      while (phase.load(std::memory_order_acquire) == 1) {
+        const std::span<const Op> batch = stream.next();
+        const uint64_t b0 = lock_stats::now_ns();
+        dc.apply_batch(batch);
+        const uint64_t ns = lock_stats::now_ns() - b0;
+        mine.ops += batch.size();
+        ++mine.batches;
+        mine.batch_ns_total += ns;
+        mine.batch_ns_max = std::max(mine.batch_ns_max, ns);
+      }
+      mine.op_counters = op_stats::local();
+      mine.lock_counters = lock_stats::local();
+    });
+  }
+
+  start.arrive_and_wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.warmup_ms));
+  const auto t0 = Clock::now();
+  phase.store(1, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.measure_ms));
+  phase.store(2, std::memory_order_release);
+  const double elapsed = ms_since(t0);
+  for (auto& w : workers) w.join();
+  return combine(totals, elapsed, cfg.threads);
+}
+
 RunResult run_decremental(DynamicConnectivity& dc, const Graph& g,
                           const RunConfig& cfg) {
   for (const Edge& e : g.edges()) dc.add_edge(e.u, e.v);
@@ -179,6 +245,8 @@ RunResult run_scenario(Scenario s, DynamicConnectivity& dc, const Graph& g,
       return run_incremental(dc, g, cfg);
     case Scenario::kDecremental:
       return run_decremental(dc, g, cfg);
+    case Scenario::kBatchRandom:
+      return run_batch(dc, g, cfg);
   }
   return {};
 }
@@ -193,6 +261,21 @@ uint64_t env_u64(const char* name, uint64_t fallback) {
 double env_double(const char* name, double fallback) {
   const char* s = std::getenv(name);
   return s != nullptr && *s != '\0' ? std::strtod(s, nullptr) : fallback;
+}
+
+std::string trimmed(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  return s.substr(b, s.find_last_not_of(" \t") - b + 1);
+}
+
+/// A sane, overflow-free numeric env entry (≤ 9 digits keeps the value
+/// within every integer type std::stoul/std::stoi feed below).
+bool all_digits(const std::string& s) {
+  if (s.empty() || s.size() > 9) return false;
+  for (char c : s)
+    if (c < '0' || c > '9') return false;
+  return true;
 }
 
 }  // namespace
@@ -210,6 +293,8 @@ EnvConfig env_config() {
     std::stringstream ss(s);
     std::string item;
     while (std::getline(ss, item, ',')) {
+      item = trimmed(item);
+      if (!all_digits(item)) continue;  // malformed entries are skipped
       const unsigned t = static_cast<unsigned>(std::stoul(item));
       if (t > 0) cfg.thread_counts.push_back(t);
     }
@@ -222,16 +307,26 @@ EnvConfig env_config() {
     std::stringstream ss(s);
     std::string item;
     while (std::getline(ss, item, ',')) {
-      bool numeric = !item.empty();
-      for (char c : item) numeric = numeric && c >= '0' && c <= '9';
-      if (numeric) {
+      item = trimmed(item);
+      if (all_digits(item)) {
         cfg.variants.push_back(std::stoi(item));
-      } else {
-        for (const VariantInfo& v : all_variants())
-          if (item == v.name) cfg.variants.push_back(v.id);
+      } else if (const VariantInfo* v = find_variant(item)) {
+        cfg.variants.push_back(v->id);
       }
     }
   }
+
+  if (const char* s = std::getenv("DC_BENCH_BATCH"); s != nullptr && *s) {
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      item = trimmed(item);
+      if (!all_digits(item)) continue;  // malformed entries are skipped
+      const std::size_t b = static_cast<std::size_t>(std::stoul(item));
+      if (b > 0) cfg.batch_sizes.push_back(b);
+    }
+  }
+  if (cfg.batch_sizes.empty()) cfg.batch_sizes = {1, 16, 64, 256};
   return cfg;
 }
 

@@ -22,12 +22,15 @@ namespace condyn::harness {
 ///   DC_BENCH_SCALE    graph size multiplier                  (default 0.05)
 ///   DC_BENCH_SEED     base RNG seed                          (default 42)
 ///   DC_BENCH_FULL     1 = paper-size graphs, all variants    (default 0)
+///   DC_BENCH_BATCH    comma list of batch sizes              (default
+///                     "1,16,64,256"; batch scenarios only)
 struct RunConfig {
   unsigned threads = 1;
   int read_percent = 80;   ///< random scenario only
   uint64_t seed = 42;
   int warmup_ms = 100;     ///< random scenario only (finite runs need none)
   int measure_ms = 300;
+  std::size_t batch_size = 64;  ///< batch scenarios only
 };
 
 /// Aggregated measurements of one run.
@@ -38,6 +41,10 @@ struct RunResult {
   double elapsed_ms = 0;
   op_stats::Counters op_counters;       ///< summed over worker threads
   lock_stats::Counters lock_counters;   ///< summed over worker threads
+  // Batch runs only (run_batch): per-apply_batch latency over all workers.
+  uint64_t batches = 0;
+  double batch_latency_us_avg = 0;
+  double batch_latency_us_max = 0;
 };
 
 /// Random-subset scenario (§5.1): pre-fills dc with a random half of g's
@@ -57,6 +64,13 @@ RunResult run_incremental(DynamicConnectivity& dc, const Graph& g,
 RunResult run_decremental(DynamicConnectivity& dc, const Graph& g,
                           const RunConfig& cfg);
 
+/// Batch scenario (DESIGN.md §5.3): the random mix, but each worker submits
+/// cfg.batch_size operations per apply_batch call instead of one call per
+/// op. Reports ops/ms like run_random plus per-batch latency in RunResult
+/// (batches / batch_latency_us_avg / batch_latency_us_max).
+RunResult run_batch(DynamicConnectivity& dc, const Graph& g,
+                    const RunConfig& cfg);
+
 RunResult run_scenario(Scenario s, DynamicConnectivity& dc, const Graph& g,
                        const RunConfig& cfg);
 
@@ -71,6 +85,8 @@ struct EnvConfig {
   /// Variant ids to run, resolved from DC_BENCH_VARIANTS (comma list of ids
   /// or names); empty = caller's default set.
   std::vector<int> variants;
+  /// Batch sizes to sweep, from DC_BENCH_BATCH (batch benches only).
+  std::vector<std::size_t> batch_sizes;
 };
 
 EnvConfig env_config();

@@ -12,6 +12,8 @@ const char* scenario_name(Scenario s) noexcept {
       return "incremental";
     case Scenario::kDecremental:
       return "decremental";
+    case Scenario::kBatchRandom:
+      return "batch-random";
   }
   return "?";
 }
@@ -35,6 +37,24 @@ std::vector<Edge> stripe(const std::vector<Edge>& edges, unsigned thread,
   out.reserve(edges.size() / num_threads + 1);
   for (std::size_t i = thread; i < edges.size(); i += num_threads)
     out.push_back(edges[i]);
+  return out;
+}
+
+std::vector<std::vector<Op>> update_batches(const std::vector<Edge>& edges,
+                                            std::size_t batch_size,
+                                            OpKind kind) {
+  std::vector<std::vector<Op>> out;
+  if (batch_size == 0) batch_size = 1;
+  out.reserve(edges.size() / batch_size + 1);
+  for (std::size_t i = 0; i < edges.size(); i += batch_size) {
+    std::vector<Op> batch;
+    const std::size_t end = std::min(edges.size(), i + batch_size);
+    batch.reserve(end - i);
+    for (std::size_t j = i; j < end; ++j) {
+      batch.push_back({kind, edges[j].u, edges[j].v});
+    }
+    out.push_back(std::move(batch));
+  }
   return out;
 }
 

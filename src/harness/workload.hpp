@@ -1,18 +1,22 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "api/dynamic_connectivity.hpp"
 #include "graph/graph.hpp"
 #include "util/random.hpp"
 
 namespace condyn::harness {
 
-/// The three benchmark scenarios of paper §5.1.
+/// The benchmark scenarios: the paper's three (§5.1) plus the batch family
+/// layered on the same operation mixes (DESIGN.md §5.3).
 enum class Scenario {
   kRandom,       ///< half the graph pre-inserted; random mixed operations
   kIncremental,  ///< threads insert the whole graph into an empty structure
   kDecremental,  ///< threads erase every edge from a full structure
+  kBatchRandom,  ///< the random mix submitted as apply_batch calls
 };
 
 const char* scenario_name(Scenario s) noexcept;
@@ -20,25 +24,19 @@ const char* scenario_name(Scenario s) noexcept;
 /// Per-thread operation stream for the *random subset* scenario: every draw
 /// picks a uniformly random graph edge and an operation type so that the
 /// percentage of additions equals the percentage of removals (keeping the
-/// live edge count roughly constant, §5.1).
+/// live edge count roughly constant, §5.1). Emits the api Op vocabulary so
+/// per-op and batch drivers share one generator.
 class RandomOpStream {
  public:
-  enum class Kind : uint8_t { kConnected, kAdd, kRemove };
-
   RandomOpStream(const Graph& g, int read_percent, uint64_t seed)
       : edges_(&g.edges()), read_percent_(read_percent), rng_(seed) {}
-
-  struct Op {
-    Kind kind;
-    Vertex u, v;
-  };
 
   Op next() noexcept {
     const Edge& e = (*edges_)[rng_.next_below(edges_->size())];
     const uint64_t roll = rng_.next_below(100);
-    Kind k = Kind::kConnected;
+    OpKind k = OpKind::kConnected;
     if (roll >= static_cast<uint64_t>(read_percent_)) {
-      k = (roll - read_percent_) % 2 == 0 ? Kind::kAdd : Kind::kRemove;
+      k = (roll - read_percent_) % 2 == 0 ? OpKind::kAdd : OpKind::kRemove;
     }
     return {k, e.u, e.v};
   }
@@ -49,6 +47,28 @@ class RandomOpStream {
   Xoshiro256 rng_;
 };
 
+/// Batch-size-parameterized generator over the same random mix: each next()
+/// refills a reusable buffer with `batch_size` draws, ready for apply_batch.
+class RandomBatchStream {
+ public:
+  RandomBatchStream(const Graph& g, int read_percent, std::size_t batch_size,
+                    uint64_t seed)
+      // Clamp like update_batches: batch_size 0 would make every next()
+      // an empty span and run_batch a busy-loop of no-op apply_batch calls.
+      : stream_(g, read_percent, seed), batch_(batch_size == 0 ? 1 : batch_size) {}
+
+  std::span<const Op> next() noexcept {
+    for (Op& op : batch_) op = stream_.next();
+    return batch_;
+  }
+
+  std::size_t batch_size() const noexcept { return batch_.size(); }
+
+ private:
+  RandomOpStream stream_;
+  std::vector<Op> batch_;
+};
+
 /// Deterministic half-of-the-graph subset used to pre-fill the structure in
 /// the random scenario (the other half starts absent).
 std::vector<Edge> random_half(const Graph& g, uint64_t seed);
@@ -57,5 +77,12 @@ std::vector<Edge> random_half(const Graph& g, uint64_t seed);
 /// scenarios: thread t of T handles edges t, t+T, t+2T, ...
 std::vector<Edge> stripe(const std::vector<Edge>& edges, unsigned thread,
                          unsigned num_threads);
+
+/// Chop an edge list into apply_batch-ready batches of `kind` updates
+/// (kAdd to build a structure up — e.g. run_batch's pre-fill — kRemove to
+/// tear one down). The final batch holds the remainder.
+std::vector<std::vector<Op>> update_batches(const std::vector<Edge>& edges,
+                                            std::size_t batch_size,
+                                            OpKind kind);
 
 }  // namespace condyn::harness

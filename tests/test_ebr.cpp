@@ -54,14 +54,18 @@ TEST(Ebr, PinnedReaderBlocksReclamation) {
 }
 
 TEST(Ebr, NestedGuardsAreReentrant) {
-  auto g1 = ebr::pin();
+  std::atomic<int> freed{0};
   {
+    auto g1 = ebr::pin();
     auto g2 = ebr::pin();
     auto g3 = ebr::pin();
+    ebr::retire(new Tracked(&freed));  // retire while (nested-)pinned
   }
-  std::atomic<int> freed{0};
-  ebr::retire(new Tracked(&freed));
-  SUCCEED();  // no deadlock / double-unpin
+  // Drain after the guards release: the retired object must not leak into a
+  // later test's epoch, where its callback would write through the
+  // then-dangling `freed` pointer.
+  ebr::Domain::global().drain();
+  EXPECT_EQ(freed.load(), 1);  // no deadlock / double-unpin, and reclaimed
 }
 
 TEST(Ebr, EpochAdvancesWhenUnpinned) {

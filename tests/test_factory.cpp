@@ -42,6 +42,16 @@ TEST(Factory, UnknownVariantThrows) {
   EXPECT_THROW(make_variant("no-such-algo", 8), std::invalid_argument);
 }
 
+TEST(Factory, RegistryLookupsAgreeWithEnumeration) {
+  for (const auto& v : all_variants()) {
+    EXPECT_EQ(find_variant(v.id), &v);
+    EXPECT_EQ(find_variant(std::string(v.name)), &v);
+  }
+  EXPECT_EQ(find_variant("no-such-algo"), nullptr);
+  EXPECT_EQ(find_variant(0), nullptr);
+  EXPECT_EQ(find_variant(14), nullptr);
+}
+
 class FactoryVariants : public ::testing::TestWithParam<int> {};
 
 TEST_P(FactoryVariants, SequentialOracleAgreement) {

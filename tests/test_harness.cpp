@@ -49,15 +49,15 @@ TEST(Workload, RandomOpStreamHonorsReadPercent) {
     int reads = 0, adds = 0, removes = 0;
     constexpr int kDraws = 50000;
     for (int i = 0; i < kDraws; ++i) {
-      const auto op = stream.next();
+      const Op op = stream.next();
       switch (op.kind) {
-        case harness::RandomOpStream::Kind::kConnected:
+        case OpKind::kConnected:
           ++reads;
           break;
-        case harness::RandomOpStream::Kind::kAdd:
+        case OpKind::kAdd:
           ++adds;
           break;
-        case harness::RandomOpStream::Kind::kRemove:
+        case OpKind::kRemove:
           ++removes;
           break;
       }
@@ -69,6 +69,31 @@ TEST(Workload, RandomOpStreamHonorsReadPercent) {
       EXPECT_NEAR(adds, removes, kDraws * 0.02);
     }
   }
+}
+
+TEST(Workload, BatchStreamMatchesPerOpStream) {
+  Graph g = gen::erdos_renyi(40, 100, 5);
+  harness::RandomOpStream ops(g, 80, 123);
+  harness::RandomBatchStream batches(g, 80, 32, 123);
+  // Same seed: the batch stream is just the per-op stream, chunked.
+  for (int round = 0; round < 5; ++round) {
+    const std::span<const Op> batch = batches.next();
+    ASSERT_EQ(batch.size(), 32u);
+    for (const Op& op : batch) EXPECT_EQ(op, ops.next());
+  }
+}
+
+TEST(Workload, UpdateBatchesCoverTheEdgeList) {
+  Graph g = gen::erdos_renyi(60, 150, 4);
+  const auto batches = harness::update_batches(g.edges(), 64, OpKind::kAdd);
+  ASSERT_EQ(batches.size(), (g.num_edges() + 63) / 64);
+  std::size_t total = 0;
+  for (const auto& b : batches) {
+    EXPECT_LE(b.size(), 64u);
+    for (const Op& op : b) EXPECT_EQ(op.kind, OpKind::kAdd);
+    total += b.size();
+  }
+  EXPECT_EQ(total, g.num_edges());
 }
 
 TEST(Driver, RandomScenarioProducesThroughput) {
@@ -86,6 +111,30 @@ TEST(Driver, RandomScenarioProducesThroughput) {
   EXPECT_GE(r.active_time_percent, 0.0);
   EXPECT_LE(r.active_time_percent, 100.0);
   EXPECT_GT(r.op_counters.reads, 0u);
+}
+
+TEST(Driver, BatchScenarioProducesThroughputAndLatency) {
+  Graph g = gen::erdos_renyi(200, 600, 6);
+  auto dc = make_variant("coarse", g.num_vertices());
+  harness::RunConfig cfg;
+  cfg.threads = 2;
+  cfg.read_percent = 80;
+  cfg.warmup_ms = 10;
+  cfg.measure_ms = 40;
+  cfg.batch_size = 32;
+  const harness::RunResult r = harness::run_batch(*dc, g, cfg);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.ops_per_ms, 0.0);
+  EXPECT_GT(r.batches, 0u);
+  EXPECT_EQ(r.total_ops, r.batches * cfg.batch_size);
+  EXPECT_GT(r.batch_latency_us_avg, 0.0);
+  EXPECT_GE(r.batch_latency_us_max, r.batch_latency_us_avg);
+}
+
+TEST(Driver, EnvConfigBatchSizesDefaulted) {
+  const harness::EnvConfig env = harness::env_config();
+  ASSERT_FALSE(env.batch_sizes.empty());
+  for (std::size_t b : env.batch_sizes) EXPECT_GE(b, 1u);
 }
 
 TEST(Driver, IncrementalInsertsWholeGraph) {
