@@ -1,9 +1,10 @@
 #pragma once
 
-// Shared scaffolding for the per-figure / per-table benchmark binaries.
-// Every binary honors the DC_BENCH_* environment knobs (see
-// harness::RunConfig): by default graphs are scaled-down stand-ins sized for
-// a laptop; DC_BENCH_FULL=1 selects paper-sized graphs and all variants.
+// Shared scaffolding for the benchmark binaries (bench_suite plus the
+// google-benchmark micro benches). Every binary honors the DC_BENCH_*
+// environment knobs (see harness::env_config): by default graphs are
+// scaled-down stand-ins sized for a laptop; DC_BENCH_FULL=1 selects
+// paper-sized graphs and all variants.
 
 #include <cstdio>
 #include <memory>
@@ -15,6 +16,7 @@
 #include "graph/generators.hpp"
 #include "harness/driver.hpp"
 #include "harness/report.hpp"
+#include "harness/scenario.hpp"
 #include "harness/workload.hpp"
 
 namespace condyn::bench {
@@ -39,45 +41,21 @@ inline std::vector<int> variant_set(const harness::EnvConfig& env,
   return env.variants.empty() ? std::move(defaults) : env.variants;
 }
 
+/// Every registered variant id, in registry (= paper) order.
+inline std::vector<int> all_variant_ids() {
+  std::vector<int> ids;
+  for (const VariantInfo& v : all_variants()) ids.push_back(v.id);
+  return ids;
+}
+
 inline const char* variant_label(int id) {
   const VariantInfo* v = find_variant(id);
   return v != nullptr ? v->name : "?";
 }
 
-/// One throughput figure: scenario × graphs × variants × thread counts,
-/// printed as the paper's per-graph series. `value_of` picks the reported
-/// metric (throughput or active-time%).
-template <typename ValueFn>
-void run_figure(const std::string& title, const std::string& unit,
-                harness::Scenario scenario, int read_percent,
-                const std::vector<int>& variants, ValueFn&& value_of) {
-  const harness::EnvConfig env = harness::env_config();
-  harness::SeriesReport report(title, unit, env.thread_counts);
-
-  auto run_graph = [&](const Graph& g, bool sweep_threads) {
-    report.begin_graph(g.name + "  |V|=" + std::to_string(g.num_vertices()) +
-                       " |E|=" + std::to_string(g.num_edges()));
-    for (int id : variants) {
-      for (unsigned threads : env.thread_counts) {
-        if (!sweep_threads && threads != env.thread_counts.back()) continue;
-        auto dc = make_variant(id, g.num_vertices());
-        harness::RunConfig cfg;
-        cfg.threads = threads;
-        cfg.read_percent = read_percent;
-        cfg.seed = env.seed;
-        cfg.warmup_ms = env.warmup_ms;
-        cfg.measure_ms = env.measure_ms;
-        const harness::RunResult r =
-            harness::run_scenario(scenario, *dc, g, cfg);
-        report.add_point(variant_label(id), threads, value_of(r));
-      }
-    }
-  };
-
-  for (const Graph& g : small_graphs(env)) run_graph(g, true);
-  // Large graphs (Table 2): maximum thread count only, like the paper.
-  for (const Graph& g : large_graphs(env)) run_graph(g, false);
-  report.print();
+inline std::string graph_label(const Graph& g) {
+  return g.name + "  |V|=" + std::to_string(g.num_vertices()) +
+         " |E|=" + std::to_string(g.num_edges());
 }
 
 inline void print_env_banner(const char* what) {
@@ -85,7 +63,7 @@ inline void print_env_banner(const char* what) {
   std::printf(
       "# %s\n# scale=%.3f seed=%llu warmup=%dms measure=%dms full=%d\n"
       "# (env knobs: DC_BENCH_SCALE/SEED/WARMUP/MILLIS/THREADS/VARIANTS/"
-      "BATCH/FULL)\n\n",
+      "SCENARIOS/READS/BATCH/TRACE/FULL)\n\n",
       what, env.full ? 1.0 : env.scale,
       static_cast<unsigned long long>(env.seed), env.warmup_ms,
       env.measure_ms, env.full ? 1 : 0);

@@ -1,0 +1,471 @@
+// bench_suite — the unified benchmark binary. Replaces the 15 single-figure
+// mains: it enumerates BOTH registries (every scenario in
+// harness::ScenarioRegistry × every variant in VariantRegistry × thread
+// counts), prints the familiar per-graph text series/tables, and emits a
+// machine-readable JSON report (harness::JsonReport, DESIGN.md §6.3) so the
+// perf trajectory is trackable across PRs.
+//
+//   bench_suite --list                      enumerate scenarios and variants
+//   bench_suite --record <scenario> <path> [ops]
+//                                           freeze a scenario into a trace
+//   bench_suite                             run the suite (env-configured)
+//
+// Env knobs (harness::env_config, DESIGN.md §3): DC_BENCH_MILLIS / WARMUP /
+// THREADS / SCALE / SEED / FULL / VARIANTS / SCENARIOS / READS / BATCH /
+// TRACE, plus suite-specific:
+//   DC_BENCH_SECTIONS  comma list of sections to run
+//                      (default "graphs,sweep,stats,retries,ablation,dsu")
+//   DC_BENCH_JSON      JSON output path (default "bench_suite.json")
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "graph/dsu.hpp"
+#include "graph/io.hpp"
+#include "util/spinlock.hpp"
+
+namespace {
+
+using namespace condyn;
+using harness::EnvConfig;
+using harness::JsonReport;
+using harness::RunConfig;
+using harness::RunResult;
+using harness::ScenarioInfo;
+using harness::SeriesReport;
+using harness::TableReport;
+
+RunConfig base_config(const EnvConfig& env) {
+  RunConfig cfg;
+  cfg.seed = env.seed;
+  cfg.warmup_ms = env.warmup_ms;
+  cfg.measure_ms = env.measure_ms;
+  cfg.trace_path = env.trace_path;
+  return cfg;
+}
+
+/// The scenarios this invocation can run: DC_BENCH_SCENARIOS if set,
+/// otherwise every registered scenario (trace-replay only with a trace).
+std::vector<const ScenarioInfo*> selected_scenarios(const EnvConfig& env) {
+  std::vector<const ScenarioInfo*> out;
+  if (env.scenarios.empty()) {
+    for (const ScenarioInfo& s : harness::all_scenarios()) {
+      if (s.caps.needs_trace && env.trace_path.empty()) {
+        std::printf("# skipping scenario %s (set DC_BENCH_TRACE)\n", s.name);
+        continue;
+      }
+      out.push_back(&s);
+    }
+  } else {
+    for (const std::string& name : env.scenarios) {
+      const ScenarioInfo* s = harness::find_scenario(name);
+      if (s == nullptr) continue;
+      if (s->caps.needs_trace && env.trace_path.empty()) {
+        std::printf("# skipping scenario %s (set DC_BENCH_TRACE)\n", s->name);
+        continue;
+      }
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+void add_sweep_record(JsonReport& json, const ScenarioInfo& s, const Graph& g,
+                      int variant_id, const RunConfig& cfg,
+                      const RunResult& r) {
+  json.add_record()
+      .field("section", "sweep")
+      .field("scenario", s.name)
+      .field("graph", g.name)
+      .field("variant", bench::variant_label(variant_id))
+      .field("variant_id", variant_id)
+      .field("threads", static_cast<int>(cfg.threads))
+      .field("read_percent", s.caps.uses_read_percent ? cfg.read_percent : 0)
+      .field("batch_size",
+             s.caps.batched ? static_cast<uint64_t>(cfg.batch_size)
+                            : uint64_t{0})
+      .field("ops_per_ms", r.ops_per_ms)
+      .field("active_time_percent", r.active_time_percent)
+      .field("total_ops", r.total_ops)
+      .field("elapsed_ms", r.elapsed_ms)
+      .field("batches", r.batches)
+      .field("batch_latency_us_avg", r.batch_latency_us_avg)
+      .field("batch_latency_us_max", r.batch_latency_us_max)
+      .field("reads", r.op_counters.reads)
+      .field("read_retries", r.op_counters.read_retries)
+      .field("additions", r.op_counters.additions)
+      .field("removals", r.op_counters.removals);
+}
+
+/// The main registry × registry enumeration: scenario × read% × graphs ×
+/// variants (× batch sizes for batched scenarios) × thread counts.
+void sweep_section(const EnvConfig& env, JsonReport& json) {
+  const std::vector<int> variants =
+      bench::variant_set(env, bench::all_variant_ids());
+  const std::vector<Graph> small = bench::small_graphs(env);
+  const std::vector<Graph> large = bench::large_graphs(env);
+
+  for (const ScenarioInfo* s : selected_scenarios(env)) {
+    // Trace replay ignores the preset graphs: the trace header says how many
+    // vertices its ops address, so the run uses a graph (and structure)
+    // sized from the trace itself.
+    std::vector<Graph> trace_graph;
+    if (s->caps.needs_trace) {
+      const io::Trace t = io::load_trace_file(env.trace_path);
+      trace_graph.emplace_back(t.num_vertices);
+      trace_graph.back().name = env.trace_path;
+    }
+    const std::vector<int> reads = s->caps.uses_read_percent
+                                       ? env.read_percents
+                                       : std::vector<int>{0};
+    for (int read_percent : reads) {
+      std::string title = std::string("Scenario ") + s->name;
+      if (s->caps.uses_read_percent)
+        title += ", " + std::to_string(read_percent) + "% reads";
+      SeriesReport report(title, "ops/ms", env.thread_counts);
+
+      auto run_graph = [&](const Graph& g, bool sweep_threads) {
+        report.begin_graph(bench::graph_label(g));
+        for (int id : variants) {
+          const std::vector<std::size_t> batches =
+              s->caps.batched ? env.batch_sizes : std::vector<std::size_t>{1};
+          for (std::size_t bs : batches) {
+            for (unsigned threads : env.thread_counts) {
+              if (!sweep_threads && threads != env.thread_counts.back())
+                continue;
+              RunConfig cfg = base_config(env);
+              cfg.threads = threads;
+              cfg.read_percent = read_percent;
+              cfg.batch_size = bs;
+              auto dc = make_variant(id, g.num_vertices());
+              const RunResult r = harness::run_scenario(*s, *dc, g, cfg);
+              std::string row = bench::variant_label(id);
+              if (s->caps.batched) row += "/b" + std::to_string(bs);
+              report.add_point(row, threads, r.ops_per_ms);
+              add_sweep_record(json, *s, g, id, cfg, r);
+            }
+          }
+        }
+      };
+
+      if (s->caps.needs_trace) {
+        for (const Graph& g : trace_graph) run_graph(g, true);
+      } else {
+        for (const Graph& g : small) run_graph(g, true);
+        // Large graphs (Table 2): maximum thread count only, like the paper.
+        for (const Graph& g : large) run_graph(g, false);
+      }
+      report.print();
+    }
+  }
+}
+
+/// Tables 1-2: the benchmark graph inventory — |V|, |E|, degree and
+/// component structure of every stand-in (checks DESIGN.md §2's claims).
+void graphs_section(const EnvConfig& env, JsonReport& json) {
+  TableReport table("Benchmark graphs",
+                    {"graph", "|V|", "|E|", "avg deg", "components",
+                     "largest %", "max deg"});
+  auto add = [&](const Graph& g) {
+    const ComponentInfo cc = connected_components(g);
+    std::vector<std::size_t> deg(g.num_vertices(), 0);
+    for (const Edge& e : g.edges()) {
+      ++deg[e.u];
+      ++deg[e.v];
+    }
+    const std::size_t dmax =
+        deg.empty() ? 0 : *std::max_element(deg.begin(), deg.end());
+    table.add_row(
+        {g.name, std::to_string(g.num_vertices()),
+         std::to_string(g.num_edges()), TableReport::num(g.density()),
+         std::to_string(cc.num_components),
+         TableReport::pct(100.0 * cc.largest_component / g.num_vertices()),
+         std::to_string(dmax)});
+    json.add_record()
+        .field("section", "graphs")
+        .field("graph", g.name)
+        .field("vertices", static_cast<uint64_t>(g.num_vertices()))
+        .field("edges", static_cast<uint64_t>(g.num_edges()))
+        .field("avg_degree", g.density())
+        .field("components", static_cast<uint64_t>(cc.num_components))
+        .field("max_degree", static_cast<uint64_t>(dmax));
+  };
+  for (const Graph& g : bench::small_graphs(env)) add(g);
+  for (const Graph& g : bench::large_graphs(env)) add(g);
+  table.print();
+}
+
+/// Tables 3-4: sequential-workload statistics — non-spanning operation rates
+/// in the random mix and the incremental/decremental scenarios.
+void stats_section(const EnvConfig& env, JsonReport& json) {
+  TableReport table("Scenario statistics (sequential workload)",
+                    {"graph", "scenario", "% non-span. adds",
+                     "% non-span. removes", "largest component, %"});
+  for (const Graph& g : bench::small_graphs(env)) {
+    auto row = [&](const char* scenario, const RunResult& r, double largest) {
+      const auto& c = r.op_counters;
+      const double add_pct =
+          c.additions ? 100.0 * c.nonspanning_additions / c.additions : 0;
+      const double rem_pct =
+          c.removals ? 100.0 * c.nonspanning_removals / c.removals : 0;
+      table.add_row({g.name, scenario, TableReport::pct(add_pct),
+                     TableReport::pct(rem_pct),
+                     largest >= 0 ? TableReport::pct(largest) : "-"});
+      json.add_record()
+          .field("section", "stats")
+          .field("scenario", scenario)
+          .field("graph", g.name)
+          .field("nonspanning_add_percent", add_pct)
+          .field("nonspanning_remove_percent", rem_pct);
+    };
+
+    RunConfig cfg = base_config(env);
+    cfg.threads = 1;
+    cfg.read_percent = 0;  // updates only: add/remove 50/50
+    cfg.warmup_ms = 0;
+    auto rnd = make_variant(9, g.num_vertices());
+    const ComponentInfo cc = connected_components(
+        g.num_vertices(), harness::random_half(g, env.seed));
+    row("random", harness::run_random(*rnd, g, cfg),
+        100.0 * cc.largest_component / g.num_vertices());
+
+    auto inc = make_variant(9, g.num_vertices());
+    row("incremental", harness::run_incremental(*inc, g, cfg), -1);
+
+    auto dec = make_variant(9, g.num_vertices());
+    row("decremental", harness::run_decremental(*dec, g, cfg), -1);
+  }
+  table.print();
+}
+
+/// §5.3 "Lock-Free Reads": share of lock-free connectivity checks that
+/// succeed on their first attempt (the paper reports >99.99%).
+void retries_section(const EnvConfig& env, JsonReport& json) {
+  TableReport table("Lock-free read retries, random scenario, max threads",
+                    {"graph", "read %", "reads", "retries", "first-try %"});
+  const unsigned threads = env.thread_counts.back();
+  for (const Graph& g : bench::small_graphs(env)) {
+    for (int read_pct : env.read_percents) {
+      auto dc = make_variant(9, g.num_vertices());
+      RunConfig cfg = base_config(env);
+      cfg.threads = threads;
+      cfg.read_percent = read_pct;
+      const RunResult r = harness::run_random(*dc, g, cfg);
+      const auto& c = r.op_counters;
+      const double first_try =
+          c.reads ? 100.0 * (1.0 - static_cast<double>(c.read_retries) /
+                                       static_cast<double>(c.reads))
+                  : 100.0;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4f", first_try);
+      table.add_row({g.name, std::to_string(read_pct),
+                     std::to_string(c.reads), std::to_string(c.read_retries),
+                     buf});
+      json.add_record()
+          .field("section", "retries")
+          .field("graph", g.name)
+          .field("read_percent", read_pct)
+          .field("reads", c.reads)
+          .field("read_retries", c.read_retries)
+          .field("first_try_percent", first_try);
+    }
+  }
+  table.print();
+}
+
+/// §5.2 "Sampling" ablation: the Iyer-et-al. replacement-sampling fast path
+/// on vs off in the replacement-heavy decremental scenario.
+void ablation_section(const EnvConfig& env, JsonReport& json) {
+  TableReport table("Replacement sampling ablation, decremental scenario",
+                    {"graph", "variant", "threads", "ops/ms (sampling)",
+                     "ops/ms (off)", "speedup"});
+  const unsigned threads = env.thread_counts.back();
+  for (const Graph& g : bench::small_graphs(env)) {
+    for (int id : bench::variant_set(env, {1, 9})) {
+      double with_s = 0, without_s = 0;
+      for (bool sampling : {true, false}) {
+        auto dc = make_variant(id, g.num_vertices(), sampling);
+        RunConfig cfg = base_config(env);
+        cfg.threads = threads;
+        const RunResult r = harness::run_decremental(*dc, g, cfg);
+        (sampling ? with_s : without_s) = r.ops_per_ms;
+      }
+      table.add_row({g.name, bench::variant_label(id),
+                     std::to_string(threads), TableReport::num(with_s),
+                     TableReport::num(without_s),
+                     TableReport::num(without_s > 0 ? with_s / without_s : 0)});
+      json.add_record()
+          .field("section", "ablation")
+          .field("graph", g.name)
+          .field("variant", bench::variant_label(id))
+          .field("threads", static_cast<int>(threads))
+          .field("ops_per_ms_sampling", with_s)
+          .field("ops_per_ms_no_sampling", without_s);
+    }
+  }
+  table.print();
+}
+
+/// Minimal DynamicConnectivity facade over union-find: additions and
+/// queries only; removals abort (never issued by the incremental driver).
+class DsuDc final : public DynamicConnectivity {
+ public:
+  explicit DsuDc(Vertex n) : dsu_(n) {}
+
+  bool add_edge(Vertex u, Vertex v) override {
+    std::lock_guard<SpinLock> lk(mu_);
+    return dsu_.unite(u, v);
+  }
+  bool remove_edge(Vertex, Vertex) override {
+    std::abort();  // incremental-only structure
+  }
+  bool connected(Vertex u, Vertex v) override {
+    std::lock_guard<SpinLock> lk(mu_);
+    return dsu_.connected(u, v);
+  }
+  Vertex num_vertices() const override { return dsu_.num_vertices(); }
+  std::string name() const override { return "dsu (incremental-only)"; }
+
+ private:
+  Dsu dsu_;
+  SpinLock mu_;
+};
+
+/// Related-work ablation: what the fully-dynamic structures pay for
+/// supporting deletions, vs a lock-protected union-find that cannot delete.
+void dsu_section(const EnvConfig& env, JsonReport& json) {
+  SeriesReport report("Incremental scenario: DSU baseline vs fully-dynamic",
+                      "ops/ms", env.thread_counts);
+  for (const Graph& g : bench::small_graphs(env)) {
+    report.begin_graph(bench::graph_label(g));
+    for (unsigned threads : env.thread_counts) {
+      RunConfig cfg = base_config(env);
+      cfg.threads = threads;
+      DsuDc dsu(g.num_vertices());
+      const RunResult r = harness::run_incremental(dsu, g, cfg);
+      report.add_point("dsu", threads, r.ops_per_ms);
+      json.add_record()
+          .field("section", "dsu")
+          .field("graph", g.name)
+          .field("variant", "dsu")
+          .field("threads", static_cast<int>(threads))
+          .field("ops_per_ms", r.ops_per_ms);
+      for (int id : bench::variant_set(env, {1, 9})) {
+        auto dc = make_variant(id, g.num_vertices());
+        const RunResult rv = harness::run_incremental(*dc, g, cfg);
+        report.add_point(bench::variant_label(id), threads, rv.ops_per_ms);
+        json.add_record()
+            .field("section", "dsu")
+            .field("graph", g.name)
+            .field("variant", bench::variant_label(id))
+            .field("threads", static_cast<int>(threads))
+            .field("ops_per_ms", rv.ops_per_ms);
+      }
+    }
+  }
+  report.print();
+}
+
+void list_registries() {
+  std::printf("Scenarios (%zu registered):\n",
+              harness::all_scenarios().size());
+  for (const ScenarioInfo& s : harness::all_scenarios()) {
+    std::printf("  %2d  %-18s [%s%s%s%s]  %s\n", s.id, s.name,
+                s.caps.finite ? "finite" : "timed",
+                s.caps.uses_read_percent ? ",reads" : "",
+                s.caps.batched ? ",batched" : "",
+                s.caps.needs_trace ? ",trace" : "", s.description);
+  }
+  std::printf("\nVariants (%zu registered):\n", all_variants().size());
+  for (const VariantInfo& v : all_variants()) {
+    std::printf("  %2d  %-18s [%s%s%s%s]  %s\n", v.id, v.name,
+                v.caps.native_batch ? "batch" : "per-op",
+                v.caps.lock_free_reads ? ",nbreads" : "",
+                v.caps.atomic_batch ? ",atomic" : "",
+                v.caps.combining ? ",combining" : "", v.description);
+  }
+}
+
+int record_command(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: bench_suite --record <scenario> <path> [ops]\n");
+    return 2;
+  }
+  const ScenarioInfo* s = harness::find_scenario(argv[2]);
+  if (s == nullptr) {
+    std::fprintf(stderr, "unknown scenario \"%s\" (see --list)\n", argv[2]);
+    return 2;
+  }
+  const std::size_t max_ops =
+      argc > 4 ? static_cast<std::size_t>(std::strtoull(argv[4], nullptr, 10))
+               : 100000;
+  const EnvConfig env = harness::env_config();
+  const Graph g = bench::small_graphs(env).front();
+  RunConfig cfg = base_config(env);
+  cfg.threads = 1;
+  cfg.read_percent = env.read_percents.front();
+  harness::record_trace_file(*s, g, cfg, max_ops, argv[3]);
+  const io::Trace t = io::load_trace_file(argv[3]);
+  std::printf("recorded %zu ops of scenario %s on %s (|V|=%u) -> %s\n",
+              t.ops.size(), s->name, g.name.c_str(), t.num_vertices, argv[3]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+    list_registries();
+    return 0;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--record") == 0) {
+    return record_command(argc, argv);
+  }
+  if (argc > 1) {
+    std::fprintf(stderr,
+                 "usage: bench_suite [--list | --record <scenario> <path> "
+                 "[ops]]\n(the run itself is configured via DC_BENCH_* env "
+                 "vars, see DESIGN.md §3)\n");
+    return std::strcmp(argv[1], "--help") == 0 ? 0 : 2;
+  }
+
+  bench::print_env_banner("bench_suite: unified scenario x variant sweep");
+  const EnvConfig env = harness::env_config();
+
+  JsonReport json("bench_suite");
+  json.meta("seed", env.seed);
+  json.meta("scale", env.full ? 1.0 : env.scale);
+  json.meta("measure_ms", static_cast<uint64_t>(env.measure_ms));
+  json.meta("warmup_ms", static_cast<uint64_t>(env.warmup_ms));
+  json.meta("full", static_cast<uint64_t>(env.full ? 1 : 0));
+
+  for (const std::string& section : harness::env_list(
+           "DC_BENCH_SECTIONS", "graphs,sweep,stats,retries,ablation,dsu")) {
+    if (section == "graphs") {
+      graphs_section(env, json);
+    } else if (section == "sweep") {
+      sweep_section(env, json);
+    } else if (section == "stats") {
+      stats_section(env, json);
+    } else if (section == "retries") {
+      retries_section(env, json);
+    } else if (section == "ablation") {
+      ablation_section(env, json);
+    } else if (section == "dsu") {
+      dsu_section(env, json);
+    } else {
+      std::printf("# unknown section \"%s\" skipped\n", section.c_str());
+    }
+  }
+
+  const char* json_env = std::getenv("DC_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr && *json_env ? json_env : "bench_suite.json";
+  json.save_file(json_path);
+  std::printf("# %zu JSON records -> %s\n", json.size(), json_path.c_str());
+  return 0;
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Local mirror of CI: configure, build, run the tier-1 test suite
-# (ROADMAP.md), then smoke-run the batch pipeline. Usage: scripts/check.sh
+# (ROADMAP.md), then smoke-run the examples and the unified bench suite
+# across every scenario. Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,7 +12,23 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 ./build/example_batch_processor
-DC_BENCH_MILLIS=30 DC_BENCH_WARMUP=10 DC_BENCH_THREADS=1 \
-  DC_BENCH_SCALE=0.01 DC_BENCH_VARIANTS=coarse ./build/bench_batch
+./build/example_trace_replay
+
+./build/bench_suite --list > /dev/null
+trace="$(mktemp /tmp/check-trace.XXXXXX.bin)"
+json="$(mktemp /tmp/check-bench.XXXXXX.json)"
+trap 'rm -f "$trace" "$json"' EXIT
+DC_BENCH_SCALE=0.01 ./build/bench_suite --record random "$trace" 2000
+DC_BENCH_MILLIS=20 DC_BENCH_WARMUP=5 DC_BENCH_THREADS=1,2 \
+  DC_BENCH_SCALE=0.01 DC_BENCH_READS=80 DC_BENCH_BATCH=16 \
+  DC_BENCH_VARIANTS=coarse,full DC_BENCH_TRACE="$trace" \
+  DC_BENCH_JSON="$json" ./build/bench_suite > /dev/null
+python3 -c "
+import json, sys
+d = json.load(open('$json'))
+n = len({r['scenario'] for r in d['results'] if r['section'] == 'sweep'})
+assert n >= 9, f'expected >= 9 scenarios, got {n}'
+print(f'bench_suite smoke: {len(d[\"results\"])} JSON records, {n} scenarios')
+"
 
 echo "check.sh: all green"

@@ -1,6 +1,7 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -95,6 +96,93 @@ Graph load_auto(const std::string& path) {
   if (path.size() >= 3 && path.substr(path.size() - 3) == ".gr")
     return load_dimacs_file(path);
   return load_snap_file(path);
+}
+
+namespace {
+
+void write_u32(std::ostream& out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 4);
+}
+
+void write_u64(std::ostream& out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 8);
+}
+
+uint32_t read_u32(std::istream& in) {
+  unsigned char b[4];
+  if (!in.read(reinterpret_cast<char*>(b), 4)) fail("truncated trace");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+uint64_t read_u64(std::istream& in) {
+  unsigned char b[8];
+  if (!in.read(reinterpret_cast<char*>(b), 8)) fail("truncated trace");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void save_trace(const Trace& t, std::ostream& out) {
+  out.write(kTraceMagic, 4);
+  write_u32(out, kTraceVersion);
+  write_u32(out, t.num_vertices);
+  write_u64(out, t.ops.size());
+  for (const Op& op : t.ops) {
+    const char kind = static_cast<char>(op.kind);
+    out.write(&kind, 1);
+    write_u32(out, op.u);
+    write_u32(out, op.v);
+  }
+  if (!out) fail("trace write failed");
+}
+
+void save_trace_file(const Trace& t, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) fail("cannot write " + path);
+  save_trace(t, f);
+}
+
+Trace load_trace(std::istream& in) {
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kTraceMagic, 4) != 0)
+    fail("not a DCTR trace (bad magic)");
+  const uint32_t version = read_u32(in);
+  if (version != kTraceVersion)
+    fail("unsupported trace version " + std::to_string(version));
+  Trace t;
+  t.num_vertices = read_u32(in);
+  const uint64_t count = read_u64(in);
+  // Don't trust the header's count for the allocation: a corrupt field
+  // would turn into a huge reserve (std::length_error / OOM) instead of the
+  // "truncated trace" error the per-op reads below produce. Growth past the
+  // clamp is amortized push_back.
+  t.ops.reserve(std::min<uint64_t>(count, 1 << 20));
+  for (uint64_t i = 0; i < count; ++i) {
+    char kind;
+    if (!in.read(&kind, 1)) fail("truncated trace");
+    if (kind < 0 || kind > 2)
+      fail("corrupt trace: bad op kind " + std::to_string(kind));
+    Op op;
+    op.kind = static_cast<OpKind>(kind);
+    op.u = read_u32(in);
+    op.v = read_u32(in);
+    t.ops.push_back(op);
+  }
+  return t;
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) fail("cannot open " + path);
+  return load_trace(f);
 }
 
 }  // namespace condyn::io

@@ -2,7 +2,9 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "api/dynamic_connectivity.hpp"
 #include "graph/graph.hpp"
 
 namespace condyn::io {
@@ -27,5 +29,31 @@ void save_snap_file(const Graph& g, const std::string& path);
 
 /// Load by extension: ".gr" => DIMACS, anything else => SNAP edge list.
 Graph load_auto(const std::string& path);
+
+/// Binary operation-trace format (DESIGN.md §6.2): a recorded op stream any
+/// scenario can be frozen into (harness::record_trace) and replayed
+/// deterministically across variants for apples-to-apples comparisons.
+/// Layout, all little-endian:
+///   bytes 0..3   magic "DCTR"
+///   u32          version (currently 1)
+///   u32          num_vertices of the graph the ops address
+///   u64          op count
+///   then per op: u8 kind (0 add, 1 remove, 2 connected), u32 u, u32 v
+struct Trace {
+  Vertex num_vertices = 0;
+  std::vector<Op> ops;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+inline constexpr char kTraceMagic[4] = {'D', 'C', 'T', 'R'};
+inline constexpr uint32_t kTraceVersion = 1;
+
+void save_trace(const Trace& t, std::ostream& out);
+void save_trace_file(const Trace& t, const std::string& path);
+
+/// Throws std::runtime_error on bad magic, unknown version, or truncation.
+Trace load_trace(std::istream& in);
+Trace load_trace_file(const std::string& path);
 
 }  // namespace condyn::io

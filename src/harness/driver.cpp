@@ -4,7 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <span>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "api/factory.hpp"
@@ -83,12 +85,35 @@ RunResult combine(const std::vector<ThreadTotals>& totals, double elapsed_ms,
   return r;
 }
 
-}  // namespace
+void exec_op(DynamicConnectivity& dc, const Op& op) {
+  switch (op.kind) {
+    case OpKind::kConnected:
+      dc.connected(op.u, op.v);
+      break;
+    case OpKind::kAdd:
+      dc.add_edge(op.u, op.v);
+      break;
+    case OpKind::kRemove:
+      dc.remove_edge(op.u, op.v);
+      break;
+  }
+}
 
-RunResult run_random(DynamicConnectivity& dc, const Graph& g,
-                     const RunConfig& cfg) {
-  for (const Edge& e : random_half(g, cfg.seed)) dc.add_edge(e.u, e.v);
+/// Refill `buf` with up to buf.capacity-of-batch ops; returns the filled
+/// count (0 = stream exhausted).
+std::size_t fill_batch(OpStream& stream, std::vector<Op>& buf,
+                       std::size_t batch_size) {
+  buf.clear();
+  Op op;
+  while (buf.size() < batch_size && stream.next(op)) buf.push_back(op);
+  return buf.size();
+}
 
+/// Timed-window driver for infinite streams: warmup, then a measured window
+/// with clean per-thread counters. With `batched`, ops are submitted through
+/// apply_batch in chunks of cfg.batch_size and per-batch latency is tracked.
+RunResult run_timed(const ScenarioInfo& s, DynamicConnectivity& dc,
+                    const Graph& g, const RunConfig& cfg) {
   std::atomic<int> phase{0};  // 0 = warmup, 1 = measure, 2 = stop
   SpinBarrier start(cfg.threads + 1);
   std::vector<ThreadTotals> totals(cfg.threads);
@@ -97,121 +122,40 @@ RunResult run_random(DynamicConnectivity& dc, const Graph& g,
 
   for (unsigned t = 0; t < cfg.threads; ++t) {
     workers.emplace_back([&, t] {
-      RandomOpStream stream(g, cfg.read_percent,
-                            mix64(cfg.seed ^ (0x9e37 + t)));
-      auto exec = [&](const Op& op) {
-        switch (op.kind) {
-          case OpKind::kConnected:
-            dc.connected(op.u, op.v);
-            break;
-          case OpKind::kAdd:
-            dc.add_edge(op.u, op.v);
-            break;
-          case OpKind::kRemove:
-            dc.remove_edge(op.u, op.v);
-            break;
-        }
-      };
-      start.arrive_and_wait();
-      while (phase.load(std::memory_order_acquire) == 0) exec(stream.next());
-      // Measurement starts with clean per-thread counters.
-      op_stats::reset_local();
-      lock_stats::reset_local();
-      uint64_t ops = 0;
-      while (phase.load(std::memory_order_acquire) == 1) {
-        exec(stream.next());
-        ++ops;
-      }
-      totals[t].ops = ops;
-      totals[t].op_counters = op_stats::local();
-      totals[t].lock_counters = lock_stats::local();
-    });
-  }
-
-  start.arrive_and_wait();
-  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.warmup_ms));
-  const auto t0 = Clock::now();
-  phase.store(1, std::memory_order_release);
-  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.measure_ms));
-  phase.store(2, std::memory_order_release);
-  const double elapsed = ms_since(t0);
-  for (auto& w : workers) w.join();
-  return combine(totals, elapsed, cfg.threads);
-}
-
-namespace {
-
-/// Finite-run driver shared by the incremental and decremental scenarios:
-/// each worker applies `op` to its stripe of the edge list; the measured
-/// window is first-op to last-completion.
-template <typename OpFn>
-RunResult run_finite(const Graph& g, unsigned threads, OpFn&& op) {
-  SpinBarrier start(threads + 1);
-  std::vector<ThreadTotals> totals(threads);
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      const std::vector<Edge> mine = stripe(g.edges(), t, threads);
-      start.arrive_and_wait();
-      op_stats::reset_local();
-      lock_stats::reset_local();
-      for (const Edge& e : mine) op(e);
-      totals[t].ops = mine.size();
-      totals[t].op_counters = op_stats::local();
-      totals[t].lock_counters = lock_stats::local();
-    });
-  }
-  start.arrive_and_wait();
-  const auto t0 = Clock::now();
-  for (auto& w : workers) w.join();
-  const double elapsed = ms_since(t0);
-  return combine(totals, elapsed, threads);
-}
-
-}  // namespace
-
-RunResult run_incremental(DynamicConnectivity& dc, const Graph& g,
-                          const RunConfig& cfg) {
-  return run_finite(g, cfg.threads,
-                    [&](const Edge& e) { dc.add_edge(e.u, e.v); });
-}
-
-RunResult run_batch(DynamicConnectivity& dc, const Graph& g,
-                    const RunConfig& cfg) {
-  // Pre-fill through the batch path too: it exercises apply_batch before
-  // measurement starts and amortizes the lock for the coarse variants.
-  for (const std::vector<Op>& b :
-       update_batches(random_half(g, cfg.seed), cfg.batch_size, OpKind::kAdd)) {
-    dc.apply_batch(b);
-  }
-
-  std::atomic<int> phase{0};  // 0 = warmup, 1 = measure, 2 = stop
-  SpinBarrier start(cfg.threads + 1);
-  std::vector<ThreadTotals> totals(cfg.threads);
-  std::vector<std::thread> workers;
-  workers.reserve(cfg.threads);
-
-  for (unsigned t = 0; t < cfg.threads; ++t) {
-    workers.emplace_back([&, t] {
-      RandomBatchStream stream(g, cfg.read_percent, cfg.batch_size,
-                               mix64(cfg.seed ^ (0x9e37 + t)));
+      const std::unique_ptr<OpStream> stream = s.make_stream(g, cfg, t);
+      std::vector<Op> buf;
+      if (s.caps.batched) buf.reserve(cfg.batch_size);
+      Op op;
       start.arrive_and_wait();
       while (phase.load(std::memory_order_acquire) == 0) {
-        dc.apply_batch(stream.next());
+        if (s.caps.batched) {
+          if (fill_batch(*stream, buf, cfg.batch_size) == 0) break;
+          dc.apply_batch(buf);
+        } else {
+          if (!stream->next(op)) break;
+          exec_op(dc, op);
+        }
       }
+      // Measurement starts with clean per-thread counters.
       op_stats::reset_local();
       lock_stats::reset_local();
       ThreadTotals& mine = totals[t];
       while (phase.load(std::memory_order_acquire) == 1) {
-        const std::span<const Op> batch = stream.next();
-        const uint64_t b0 = lock_stats::now_ns();
-        dc.apply_batch(batch);
-        const uint64_t ns = lock_stats::now_ns() - b0;
-        mine.ops += batch.size();
-        ++mine.batches;
-        mine.batch_ns_total += ns;
-        mine.batch_ns_max = std::max(mine.batch_ns_max, ns);
+        if (s.caps.batched) {
+          const std::size_t n = fill_batch(*stream, buf, cfg.batch_size);
+          if (n == 0) break;
+          const uint64_t b0 = lock_stats::now_ns();
+          dc.apply_batch(buf);
+          const uint64_t ns = lock_stats::now_ns() - b0;
+          mine.ops += n;
+          ++mine.batches;
+          mine.batch_ns_total += ns;
+          mine.batch_ns_max = std::max(mine.batch_ns_max, ns);
+        } else {
+          if (!stream->next(op)) break;
+          exec_op(dc, op);
+          ++mine.ops;
+        }
       }
       mine.op_counters = op_stats::local();
       mine.lock_counters = lock_stats::local();
@@ -229,26 +173,135 @@ RunResult run_batch(DynamicConnectivity& dc, const Graph& g,
   return combine(totals, elapsed, cfg.threads);
 }
 
-RunResult run_decremental(DynamicConnectivity& dc, const Graph& g,
-                          const RunConfig& cfg) {
-  for (const Edge& e : g.edges()) dc.add_edge(e.u, e.v);
-  return run_finite(g, cfg.threads,
-                    [&](const Edge& e) { dc.remove_edge(e.u, e.v); });
+/// Finite driver: each worker drains its stream to exhaustion; the measured
+/// window is first-op to last-completion (no warmup). Stream construction
+/// happens before the start barrier and is excluded from timing.
+RunResult run_finite(const ScenarioInfo& s, DynamicConnectivity& dc,
+                     const Graph& g, const RunConfig& cfg) {
+  SpinBarrier start(cfg.threads + 1);
+  std::vector<ThreadTotals> totals(cfg.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::unique_ptr<OpStream> stream = s.make_stream(g, cfg, t);
+      std::vector<Op> buf;
+      if (s.caps.batched) buf.reserve(cfg.batch_size);
+      start.arrive_and_wait();
+      op_stats::reset_local();
+      lock_stats::reset_local();
+      ThreadTotals& mine = totals[t];
+      if (s.caps.batched) {
+        std::size_t n;
+        while ((n = fill_batch(*stream, buf, cfg.batch_size)) > 0) {
+          const uint64_t b0 = lock_stats::now_ns();
+          dc.apply_batch(buf);
+          const uint64_t ns = lock_stats::now_ns() - b0;
+          mine.ops += n;
+          ++mine.batches;
+          mine.batch_ns_total += ns;
+          mine.batch_ns_max = std::max(mine.batch_ns_max, ns);
+        }
+      } else {
+        Op op;
+        while (stream->next(op)) {
+          exec_op(dc, op);
+          ++mine.ops;
+        }
+      }
+      mine.op_counters = op_stats::local();
+      mine.lock_counters = lock_stats::local();
+    });
+  }
+  start.arrive_and_wait();
+  const auto t0 = Clock::now();
+  for (auto& w : workers) w.join();
+  const double elapsed = ms_since(t0);
+  return combine(totals, elapsed, cfg.threads);
 }
 
-RunResult run_scenario(Scenario s, DynamicConnectivity& dc, const Graph& g,
-                       const RunConfig& cfg) {
-  switch (s) {
-    case Scenario::kRandom:
-      return run_random(dc, g, cfg);
-    case Scenario::kIncremental:
-      return run_incremental(dc, g, cfg);
-    case Scenario::kDecremental:
-      return run_decremental(dc, g, cfg);
-    case Scenario::kBatchRandom:
-      return run_batch(dc, g, cfg);
+const ScenarioInfo& must_find_scenario(const char* name) {
+  const ScenarioInfo* s = find_scenario(name);
+  if (s == nullptr) {
+    throw std::logic_error(std::string("built-in scenario missing: ") + name);
   }
-  return {};
+  return *s;
+}
+
+}  // namespace
+
+RunConfig validated(const RunConfig& cfg) {
+  if (cfg.threads == 0) {
+    throw std::invalid_argument("RunConfig: threads must be >= 1");
+  }
+  if (cfg.measure_ms <= 0) {
+    throw std::invalid_argument("RunConfig: measure_ms must be positive");
+  }
+  if (cfg.warmup_ms < 0) {
+    throw std::invalid_argument("RunConfig: warmup_ms must be >= 0");
+  }
+  RunConfig out = cfg;
+  out.read_percent = std::clamp(out.read_percent, 0, 100);
+  if (out.batch_size == 0) out.batch_size = 1;
+  return out;
+}
+
+RunResult run_scenario(const ScenarioInfo& s, DynamicConnectivity& dc,
+                       const Graph& g, const RunConfig& raw) {
+  RunConfig cfg = validated(raw);
+  if (s.caps.needs_trace && cfg.preloaded_trace == nullptr) {
+    // Load the trace once here, for two reasons: trace problems surface on
+    // the caller thread (an exception escaping a worker's stream factory
+    // would terminate the process), and the workers then stripe the shared
+    // copy instead of re-reading the file per thread.
+    if (cfg.trace_path.empty()) {
+      throw std::invalid_argument(std::string(s.name) +
+                                  ": RunConfig::trace_path is empty "
+                                  "(set DC_BENCH_TRACE)");
+    }
+    cfg.preloaded_trace =
+        std::make_shared<const io::Trace>(io::load_trace_file(cfg.trace_path));
+  }
+  if (s.caps.needs_trace &&
+      cfg.preloaded_trace->num_vertices > dc.num_vertices()) {
+    throw std::invalid_argument(
+        cfg.trace_path + " addresses " +
+        std::to_string(cfg.preloaded_trace->num_vertices) +
+        " vertices but the structure only has " +
+        std::to_string(dc.num_vertices()));
+  }
+  const std::vector<Op> pre = prefill_ops(s.caps.prefill, g, cfg.seed);
+  if (s.caps.batched) {
+    // Pre-fill through the batch path too: it exercises apply_batch before
+    // measurement starts and amortizes the lock for the coarse variants.
+    for (std::size_t i = 0; i < pre.size(); i += cfg.batch_size) {
+      dc.apply_batch(std::span<const Op>(pre).subspan(
+          i, std::min(cfg.batch_size, pre.size() - i)));
+    }
+  } else {
+    for (const Op& op : pre) dc.add_edge(op.u, op.v);
+  }
+  return s.caps.finite ? run_finite(s, dc, g, cfg) : run_timed(s, dc, g, cfg);
+}
+
+RunResult run_random(DynamicConnectivity& dc, const Graph& g,
+                     const RunConfig& cfg) {
+  return run_scenario(must_find_scenario("random"), dc, g, cfg);
+}
+
+RunResult run_incremental(DynamicConnectivity& dc, const Graph& g,
+                          const RunConfig& cfg) {
+  return run_scenario(must_find_scenario("incremental"), dc, g, cfg);
+}
+
+RunResult run_decremental(DynamicConnectivity& dc, const Graph& g,
+                          const RunConfig& cfg) {
+  return run_scenario(must_find_scenario("decremental"), dc, g, cfg);
+}
+
+RunResult run_batch(DynamicConnectivity& dc, const Graph& g,
+                    const RunConfig& cfg) {
+  return run_scenario(must_find_scenario("batch-random"), dc, g, cfg);
 }
 
 namespace {
@@ -280,6 +333,19 @@ bool all_digits(const std::string& s) {
 
 }  // namespace
 
+std::vector<std::string> env_list(const char* name,
+                                  const std::string& fallback) {
+  std::vector<std::string> out;
+  const char* s = std::getenv(name);
+  std::stringstream ss(s != nullptr && *s != '\0' ? std::string(s) : fallback);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trimmed(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
 EnvConfig env_config() {
   EnvConfig cfg;
   cfg.warmup_ms = static_cast<int>(env_u64("DC_BENCH_WARMUP", 100));
@@ -287,46 +353,47 @@ EnvConfig env_config() {
   cfg.scale = env_double("DC_BENCH_SCALE", 0.05);
   cfg.seed = env_u64("DC_BENCH_SEED", 42);
   cfg.full = env_u64("DC_BENCH_FULL", 0) != 0;
+  if (const char* s = std::getenv("DC_BENCH_TRACE"); s != nullptr && *s) {
+    cfg.trace_path = s;
+  }
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  if (const char* s = std::getenv("DC_BENCH_THREADS"); s != nullptr && *s) {
-    std::stringstream ss(s);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      item = trimmed(item);
-      if (!all_digits(item)) continue;  // malformed entries are skipped
-      const unsigned t = static_cast<unsigned>(std::stoul(item));
-      if (t > 0) cfg.thread_counts.push_back(t);
-    }
+  for (const std::string& item : env_list("DC_BENCH_THREADS")) {
+    if (!all_digits(item)) continue;  // malformed entries are skipped
+    const unsigned t = static_cast<unsigned>(std::stoul(item));
+    if (t > 0) cfg.thread_counts.push_back(t);
   }
   if (cfg.thread_counts.empty()) {
     for (unsigned t = 1; t <= 2 * hw; t *= 2) cfg.thread_counts.push_back(t);
   }
 
-  if (const char* s = std::getenv("DC_BENCH_VARIANTS"); s != nullptr && *s) {
-    std::stringstream ss(s);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      item = trimmed(item);
-      if (all_digits(item)) {
-        cfg.variants.push_back(std::stoi(item));
-      } else if (const VariantInfo* v = find_variant(item)) {
-        cfg.variants.push_back(v->id);
-      }
+  for (const std::string& item : env_list("DC_BENCH_VARIANTS")) {
+    if (all_digits(item)) {
+      cfg.variants.push_back(std::stoi(item));
+    } else if (const VariantInfo* v = find_variant(item)) {
+      cfg.variants.push_back(v->id);
     }
   }
 
-  if (const char* s = std::getenv("DC_BENCH_BATCH"); s != nullptr && *s) {
-    std::stringstream ss(s);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      item = trimmed(item);
-      if (!all_digits(item)) continue;  // malformed entries are skipped
-      const std::size_t b = static_cast<std::size_t>(std::stoul(item));
-      if (b > 0) cfg.batch_sizes.push_back(b);
-    }
+  for (const std::string& item : env_list("DC_BENCH_SCENARIOS")) {
+    const ScenarioInfo* s = all_digits(item) ? find_scenario(std::stoi(item))
+                                             : find_scenario(item);
+    if (s != nullptr) cfg.scenarios.push_back(s->name);
+  }
+
+  for (const std::string& item : env_list("DC_BENCH_BATCH")) {
+    if (!all_digits(item)) continue;  // malformed entries are skipped
+    const std::size_t b = static_cast<std::size_t>(std::stoul(item));
+    if (b > 0) cfg.batch_sizes.push_back(b);
   }
   if (cfg.batch_sizes.empty()) cfg.batch_sizes = {1, 16, 64, 256};
+
+  for (const std::string& item : env_list("DC_BENCH_READS")) {
+    if (!all_digits(item)) continue;
+    const int r = std::stoi(item);
+    if (r >= 0 && r <= 100) cfg.read_percents.push_back(r);
+  }
+  if (cfg.read_percents.empty()) cfg.read_percents = {80, 99};
   return cfg;
 }
 

@@ -7,31 +7,35 @@
 #include "api/dynamic_connectivity.hpp"
 #include "core/stats.hpp"
 #include "graph/graph.hpp"
+#include "harness/scenario.hpp"
 #include "harness/workload.hpp"
 #include "util/lock_stats.hpp"
 
 namespace condyn::harness {
 
-/// One benchmark execution's configuration. Defaults come from the
-/// environment so every bench binary scales from laptop-quick to paper-size
-/// without recompilation (see env_config() and DESIGN.md §3):
-///   DC_BENCH_MILLIS   measurement window per data point      (default 300)
-///   DC_BENCH_WARMUP   warmup window per data point           (default 100)
-///   DC_BENCH_THREADS  comma list of thread counts            (default
-///                     "1,2,4,8" capped at 2*hardware_concurrency)
-///   DC_BENCH_SCALE    graph size multiplier                  (default 0.05)
-///   DC_BENCH_SEED     base RNG seed                          (default 42)
-///   DC_BENCH_FULL     1 = paper-size graphs, all variants    (default 0)
-///   DC_BENCH_BATCH    comma list of batch sizes              (default
-///                     "1,16,64,256"; batch scenarios only)
-struct RunConfig {
-  unsigned threads = 1;
-  int read_percent = 80;   ///< random scenario only
-  uint64_t seed = 42;
-  int warmup_ms = 100;     ///< random scenario only (finite runs need none)
-  int measure_ms = 300;
-  std::size_t batch_size = 64;  ///< batch scenarios only
-};
+// RunConfig lives in workload.hpp (it parameterizes the stream factories);
+// defaults come from the environment so every bench binary scales from
+// laptop-quick to paper-size without recompilation (see env_config() and
+// DESIGN.md §3):
+//   DC_BENCH_MILLIS    measurement window per data point      (default 300)
+//   DC_BENCH_WARMUP    warmup window per data point           (default 100)
+//   DC_BENCH_THREADS   comma list of thread counts            (default
+//                      "1,2,4,8" capped at 2*hardware_concurrency)
+//   DC_BENCH_SCALE     graph size multiplier                  (default 0.05)
+//   DC_BENCH_SEED      base RNG seed                          (default 42)
+//   DC_BENCH_FULL      1 = paper-size graphs, all variants    (default 0)
+//   DC_BENCH_BATCH     comma list of batch sizes              (default
+//                      "1,16,64,256"; batch scenarios only)
+//   DC_BENCH_SCENARIOS comma list of scenario names/ids       (default: all
+//                      runnable — trace-replay needs DC_BENCH_TRACE)
+//   DC_BENCH_READS     comma list of read percentages         (default
+//                      "80,99"; read-mix scenarios only)
+//   DC_BENCH_TRACE     recorded trace path (trace-replay scenario)
+
+/// Validate a RunConfig before a driver runs it: rejects threads == 0,
+/// measure_ms <= 0 and warmup_ms < 0 with std::invalid_argument; returns a
+/// copy with read_percent clamped to [0, 100] and batch_size clamped to >= 1.
+RunConfig validated(const RunConfig& cfg);
 
 /// Aggregated measurements of one run.
 struct RunResult {
@@ -41,40 +45,34 @@ struct RunResult {
   double elapsed_ms = 0;
   op_stats::Counters op_counters;       ///< summed over worker threads
   lock_stats::Counters lock_counters;   ///< summed over worker threads
-  // Batch runs only (run_batch): per-apply_batch latency over all workers.
+  // Batched scenarios only: per-apply_batch latency over all workers.
   uint64_t batches = 0;
   double batch_latency_us_avg = 0;
   double batch_latency_us_max = 0;
 };
 
-/// Random-subset scenario (§5.1): pre-fills dc with a random half of g's
-/// edges, then `threads` workers execute the read/add/remove mix for the
-/// configured window. The structure is left in whatever state the run ends
-/// in — use a fresh instance per run.
+/// Run one registered scenario (harness/scenario.hpp): applies the prefill
+/// its caps request, spawns cfg.threads workers each pulling from the
+/// scenario's stream factory, and measures either a timed window (infinite
+/// streams; warmup then measure) or time-to-completion (finite streams).
+/// Scenarios with caps.batched submit chunks of cfg.batch_size through
+/// apply_batch and report per-batch latency in RunResult. The structure is
+/// left in whatever state the run ends in — use a fresh instance per run.
+RunResult run_scenario(const ScenarioInfo& s, DynamicConnectivity& dc,
+                       const Graph& g, const RunConfig& cfg);
+
+/// Named wrappers for the paper's scenarios, kept for tests and examples;
+/// each resolves the registry entry and calls run_scenario.
 RunResult run_random(DynamicConnectivity& dc, const Graph& g,
                      const RunConfig& cfg);
-
-/// Incremental scenario: workers insert the whole graph, striped, into the
-/// (empty) structure; the run measures time-to-completion.
 RunResult run_incremental(DynamicConnectivity& dc, const Graph& g,
                           const RunConfig& cfg);
-
-/// Decremental scenario: pre-fills dc with all of g, then workers erase
-/// their stripes; measures time-to-completion.
 RunResult run_decremental(DynamicConnectivity& dc, const Graph& g,
                           const RunConfig& cfg);
-
-/// Batch scenario (DESIGN.md §5.3): the random mix, but each worker submits
-/// cfg.batch_size operations per apply_batch call instead of one call per
-/// op. Reports ops/ms like run_random plus per-batch latency in RunResult
-/// (batches / batch_latency_us_avg / batch_latency_us_max).
 RunResult run_batch(DynamicConnectivity& dc, const Graph& g,
                     const RunConfig& cfg);
 
-RunResult run_scenario(Scenario s, DynamicConnectivity& dc, const Graph& g,
-                       const RunConfig& cfg);
-
-/// Benchmark-wide knobs resolved from the environment (see RunConfig docs).
+/// Benchmark-wide knobs resolved from the environment (see above).
 struct EnvConfig {
   std::vector<unsigned> thread_counts;
   int warmup_ms;
@@ -85,10 +83,23 @@ struct EnvConfig {
   /// Variant ids to run, resolved from DC_BENCH_VARIANTS (comma list of ids
   /// or names); empty = caller's default set.
   std::vector<int> variants;
-  /// Batch sizes to sweep, from DC_BENCH_BATCH (batch benches only).
+  /// Scenario names to run, resolved from DC_BENCH_SCENARIOS (comma list of
+  /// ids or names); empty = caller's default set.
+  std::vector<std::string> scenarios;
+  /// Batch sizes to sweep, from DC_BENCH_BATCH (batch scenarios only).
   std::vector<std::size_t> batch_sizes;
+  /// Read percentages to sweep, from DC_BENCH_READS (read-mix scenarios).
+  std::vector<int> read_percents;
+  /// Recorded trace path from DC_BENCH_TRACE (trace-replay scenario).
+  std::string trace_path;
 };
 
 EnvConfig env_config();
+
+/// Comma-separated env list, entries trimmed, empties dropped; `fallback`
+/// is parsed the same way when the variable is unset or empty. The one
+/// tokenizer behind every DC_BENCH_* list knob.
+std::vector<std::string> env_list(const char* name,
+                                  const std::string& fallback = "");
 
 }  // namespace condyn::harness

@@ -1,7 +1,11 @@
 #include "harness/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 
 namespace condyn::harness {
 
@@ -89,6 +93,126 @@ std::string TableReport::num(double value) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f", value);
   return buf;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void write_fields(std::ostream& out,
+                  const std::vector<std::pair<std::string, std::string>>& kv) {
+  bool first = true;
+  for (const auto& [key, value] : kv) {
+    if (!first) out << ", ";
+    first = false;
+    out << json_escape(key) << ": " << value;
+  }
+}
+
+}  // namespace
+
+JsonReport::Record& JsonReport::Record::field(const std::string& key,
+                                              const std::string& value) {
+  fields_.emplace_back(key, json_escape(value));
+  return *this;
+}
+
+JsonReport::Record& JsonReport::Record::field(const std::string& key,
+                                              const char* value) {
+  return field(key, std::string(value));
+}
+
+JsonReport::Record& JsonReport::Record::field(const std::string& key,
+                                              double value) {
+  fields_.emplace_back(key, json_number(value));
+  return *this;
+}
+
+JsonReport::Record& JsonReport::Record::field(const std::string& key,
+                                              uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonReport::Record& JsonReport::Record::field(const std::string& key,
+                                              int value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+void JsonReport::meta(const std::string& key, const std::string& value) {
+  meta_.emplace_back(key, json_escape(value));
+}
+
+void JsonReport::meta(const std::string& key, double value) {
+  meta_.emplace_back(key, json_number(value));
+}
+
+void JsonReport::meta(const std::string& key, uint64_t value) {
+  meta_.emplace_back(key, std::to_string(value));
+}
+
+JsonReport::Record& JsonReport::add_record() {
+  records_.emplace_back();
+  return records_.back();
+}
+
+void JsonReport::write(std::ostream& out) const {
+  out << "{\n  \"suite\": " << json_escape(suite_) << ",\n  \"meta\": {";
+  write_fields(out, meta_);
+  out << "},\n  \"results\": [\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out << "    {";
+    write_fields(out, records_[i].fields_);
+    out << (i + 1 < records_.size() ? "},\n" : "}\n");
+  }
+  out << "  ]\n}\n";
+}
+
+void JsonReport::save_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("JsonReport: cannot write " + path);
+  write(f);
+  f.flush();
+  if (!f) throw std::runtime_error("JsonReport: write failed for " + path);
+}
+
+std::string json_report(const JsonReport& report) {
+  std::ostringstream ss;
+  report.write(ss);
+  return ss.str();
 }
 
 }  // namespace condyn::harness

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/driver.hpp"
@@ -52,5 +55,47 @@ class TableReport {
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Machine-readable result sink for bench_suite (DESIGN.md §6.3): flat
+/// records of key/value fields plus suite-wide metadata, rendered as
+///   {"suite": ..., "meta": {...}, "results": [{...}, ...]}
+/// so the perf trajectory is trackable across PRs (the CI build artifact).
+class JsonReport {
+ public:
+  /// One result record. The reference returned by add_record() is valid
+  /// until the next add_record() call — populate it immediately.
+  class Record {
+   public:
+    Record& field(const std::string& key, const std::string& value);
+    Record& field(const std::string& key, const char* value);
+    Record& field(const std::string& key, double value);
+    Record& field(const std::string& key, uint64_t value);
+    Record& field(const std::string& key, int value);
+
+   private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, std::string>> fields_;  // key -> JSON
+  };
+
+  explicit JsonReport(std::string suite) : suite_(std::move(suite)) {}
+
+  void meta(const std::string& key, const std::string& value);
+  void meta(const std::string& key, double value);
+  void meta(const std::string& key, uint64_t value);
+
+  Record& add_record();
+  std::size_t size() const noexcept { return records_.size(); }
+
+  void write(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+
+ private:
+  std::string suite_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<Record> records_;
+};
+
+/// Render a JsonReport to its JSON text.
+std::string json_report(const JsonReport& report);
 
 }  // namespace condyn::harness

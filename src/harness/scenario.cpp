@@ -1,0 +1,243 @@
+#include "harness/scenario.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace condyn::harness {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry reg;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // Headroom beyond the built-ins so ScenarioInfo pointers handed out by
+    // find()/scenarios() are not invalidated by later add() reallocations.
+    reg.scenarios_.reserve(kReserved);
+    register_builtin_scenarios(reg);
+  });
+  return reg;
+}
+
+int ScenarioRegistry::add(const char* name, const char* description,
+                          ScenarioCaps caps, StreamFactory make_stream) {
+  if (scenarios_.size() >= kReserved) {
+    throw std::invalid_argument(
+        "scenario registry full (ScenarioRegistry::kReserved)");
+  }
+  for (const ScenarioInfo& s : scenarios_) {
+    if (std::string(name) == s.name) {
+      throw std::invalid_argument("duplicate scenario name \"" +
+                                  std::string(name) + "\"");
+    }
+  }
+  const int id = static_cast<int>(scenarios_.size()) + 1;
+  scenarios_.push_back({id, name, description, caps, std::move(make_stream)});
+  return id;
+}
+
+const ScenarioInfo* ScenarioRegistry::find(const std::string& name)
+    const noexcept {
+  for (const ScenarioInfo& s : scenarios_) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+const ScenarioInfo* ScenarioRegistry::find(int id) const noexcept {
+  if (id < 1 || id > static_cast<int>(scenarios_.size())) return nullptr;
+  return &scenarios_[id - 1];
+}
+
+const std::vector<ScenarioInfo>& all_scenarios() {
+  return ScenarioRegistry::instance().scenarios();
+}
+
+const ScenarioInfo* find_scenario(const std::string& name) {
+  return ScenarioRegistry::instance().find(name);
+}
+
+const ScenarioInfo* find_scenario(int id) {
+  return ScenarioRegistry::instance().find(id);
+}
+
+namespace {
+
+/// Per-thread seed derivation shared by every random-mix scenario; the
+/// 0x9e37 constant predates the registry (run_random used it), kept so
+/// recorded traces and measurements stay reproducible across PRs.
+uint64_t thread_seed(const RunConfig& cfg, unsigned thread) {
+  return mix64(cfg.seed ^ (0x9e37ull + thread));
+}
+
+std::vector<Op> edges_as_ops(std::vector<Edge> edges, OpKind kind) {
+  std::vector<Op> ops;
+  ops.reserve(edges.size());
+  for (const Edge& e : edges) ops.push_back({kind, e.u, e.v});
+  return ops;
+}
+
+}  // namespace
+
+void register_builtin_scenarios(ScenarioRegistry& r) {
+  ScenarioCaps random_caps;
+  random_caps.uses_read_percent = true;
+  random_caps.prefill = Prefill::kHalf;
+  r.add("random",
+        "uniform random mix over the edge list; half the graph pre-inserted "
+        "(paper §5.1)",
+        random_caps,
+        [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<RandomOpStream>(g, cfg.read_percent,
+                                                  thread_seed(cfg, t));
+        });
+
+  ScenarioCaps inc_caps;
+  inc_caps.finite = true;
+  r.add("incremental",
+        "threads insert the whole graph, striped, into an empty structure",
+        inc_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<VectorOpStream>(
+              edges_as_ops(stripe(g.edges(), t, cfg.threads), OpKind::kAdd));
+        });
+
+  ScenarioCaps dec_caps;
+  dec_caps.finite = true;
+  dec_caps.prefill = Prefill::kFull;
+  r.add("decremental",
+        "threads erase every edge, striped, from a full structure "
+        "(replacement-search heavy)",
+        dec_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<VectorOpStream>(
+              edges_as_ops(stripe(g.edges(), t, cfg.threads), OpKind::kRemove));
+        });
+
+  ScenarioCaps brand_caps = random_caps;
+  brand_caps.batched = true;
+  r.add("batch-random",
+        "the random mix submitted as apply_batch calls of batch_size ops",
+        brand_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<RandomOpStream>(g, cfg.read_percent,
+                                                  thread_seed(cfg, t));
+        });
+
+  ScenarioCaps binc_caps = inc_caps;
+  binc_caps.batched = true;
+  r.add("batch-incremental",
+        "the incremental insertion submitted as apply_batch calls",
+        binc_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<VectorOpStream>(
+              edges_as_ops(stripe(g.edges(), t, cfg.threads), OpKind::kAdd));
+        });
+
+  ScenarioCaps zipf_caps = random_caps;
+  r.add("zipfian",
+        "Zipf(0.99)-skewed edge popularity: a hot set of edges absorbs most "
+        "operations (contention regime)",
+        zipf_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<ZipfianOpStream>(g, cfg.read_percent,
+                                                   cfg.seed, t);
+        });
+
+  ScenarioCaps slide_caps;
+  slide_caps.uses_read_percent = true;
+  r.add("sliding-window",
+        "temporal churn: adds march a window through each thread's stripe, "
+        "removes expire the trailing edge, reads stay inside the window",
+        slide_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<SlidingWindowStream>(
+              stripe(g.edges(), t, cfg.threads), cfg.read_percent,
+              thread_seed(cfg, t));
+        });
+
+  ScenarioCaps local_caps = random_caps;
+  r.add("component-local",
+        "operations clustered inside vertex communities with sticky runs "
+        "(exercises fine/full per-component locality)",
+        local_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<ComponentLocalStream>(
+              g, cfg.read_percent, ComponentLocalStream::kDefaultCommunities,
+              cfg.seed, t);
+        });
+
+  ScenarioCaps trace_caps;
+  trace_caps.finite = true;
+  trace_caps.needs_trace = true;
+  r.add("trace-replay",
+        "replay a recorded trace file (RunConfig::trace_path / "
+        "DC_BENCH_TRACE), striped across threads",
+        trace_caps, [](const Graph&, const RunConfig& cfg, unsigned t) {
+          // run_scenario pre-loads the trace into cfg.preloaded_trace so N
+          // workers don't re-read the file N times; direct factory callers
+          // (record_trace, tests) fall back to loading it here.
+          std::shared_ptr<const io::Trace> trace = cfg.preloaded_trace;
+          if (trace == nullptr) {
+            if (cfg.trace_path.empty()) {
+              throw std::invalid_argument(
+                  "trace-replay scenario needs RunConfig::trace_path "
+                  "(DC_BENCH_TRACE)");
+            }
+            trace = std::make_shared<const io::Trace>(
+                io::load_trace_file(cfg.trace_path));
+          }
+          std::vector<Op> mine;
+          mine.reserve(trace->ops.size() / cfg.threads + 1);
+          for (std::size_t i = t; i < trace->ops.size(); i += cfg.threads)
+            mine.push_back(trace->ops[i]);
+          return std::make_unique<VectorOpStream>(std::move(mine));
+        });
+}
+
+std::vector<Op> prefill_ops(Prefill p, const Graph& g, uint64_t seed) {
+  switch (p) {
+    case Prefill::kNone:
+      return {};
+    case Prefill::kHalf:
+      return edges_as_ops(random_half(g, seed), OpKind::kAdd);
+    case Prefill::kFull:
+      return edges_as_ops(g.edges(), OpKind::kAdd);
+  }
+  return {};
+}
+
+io::Trace record_trace(const ScenarioInfo& s, const Graph& g,
+                       const RunConfig& cfg, std::size_t max_ops) {
+  RunConfig one = cfg;
+  one.threads = 1;  // the trace is one linear program
+  io::Trace t;
+  t.num_vertices = g.num_vertices();
+  t.ops = prefill_ops(s.caps.prefill, g, one.seed);
+  const std::unique_ptr<OpStream> stream = s.make_stream(g, one, 0);
+  Op op;
+  for (std::size_t i = 0; i < max_ops && stream->next(op); ++i)
+    t.ops.push_back(op);
+  return t;
+}
+
+void record_trace_file(const ScenarioInfo& s, const Graph& g,
+                       const RunConfig& cfg, std::size_t max_ops,
+                       const std::string& path) {
+  io::save_trace_file(record_trace(s, g, cfg, max_ops), path);
+}
+
+std::vector<uint8_t> replay_trace(DynamicConnectivity& dc,
+                                  std::span<const Op> ops) {
+  std::vector<uint8_t> results;
+  results.reserve(ops.size());
+  for (const Op& op : ops) {
+    bool r = false;
+    switch (op.kind) {
+      case OpKind::kAdd:
+        r = dc.add_edge(op.u, op.v);
+        break;
+      case OpKind::kRemove:
+        r = dc.remove_edge(op.u, op.v);
+        break;
+      case OpKind::kConnected:
+        r = dc.connected(op.u, op.v);
+        break;
+    }
+    results.push_back(r ? 1 : 0);
+  }
+  return results;
+}
+
+}  // namespace condyn::harness

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "harness/workload.hpp"
+
+namespace condyn::harness {
+
+/// What the driver does before the workers start pulling from the streams.
+enum class Prefill {
+  kNone,  ///< structure starts empty
+  kHalf,  ///< random half of the graph pre-inserted (§5.1 steady state)
+  kFull,  ///< every edge pre-inserted (decremental start state)
+};
+
+/// Capability flags a scenario declares when it registers (DESIGN.md §6.1),
+/// mirroring VariantCaps: the driver, bench_suite and tests branch on these
+/// instead of hard-coding scenario names.
+struct ScenarioCaps {
+  /// Streams exhaust; the run measures time-to-completion (no warmup).
+  /// Unset: streams are infinite and the run is a timed window.
+  bool finite = false;
+  /// The read/add/remove mix obeys RunConfig::read_percent.
+  bool uses_read_percent = false;
+  /// The driver submits operations through apply_batch in chunks of
+  /// RunConfig::batch_size instead of one call per op.
+  bool batched = false;
+  /// Requires RunConfig::trace_path to point at a recorded trace.
+  bool needs_trace = false;
+  Prefill prefill = Prefill::kNone;
+};
+
+/// Factory for one worker thread's operation stream. Called once per worker
+/// before the start barrier (construction cost is excluded from timing);
+/// `thread` is the worker index in [0, cfg.threads).
+using StreamFactory = std::function<std::unique_ptr<OpStream>(
+    const Graph& g, const RunConfig& cfg, unsigned thread)>;
+
+/// One registered workload scenario: name -> description -> generator
+/// factory -> capabilities.
+struct ScenarioInfo {
+  int id;            ///< 1..N, registration order
+  const char* name;  ///< stable identifier used in tables and DC_BENCH_SCENARIOS
+  const char* description;
+  ScenarioCaps caps;
+  StreamFactory make_stream;
+};
+
+/// Name -> stream factory + capabilities registry, the workload-side mirror
+/// of VariantRegistry (api/registry.hpp): built-ins register on first access
+/// through an explicit hook rather than static initializers (a static
+/// library drops object files whose only content is an unreferenced
+/// registrar).
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  /// Register a scenario; ids are assigned sequentially in registration
+  /// order. Throws std::invalid_argument on duplicate names or when the
+  /// registry is full (kReserved entries — the bound that keeps previously
+  /// returned ScenarioInfo pointers stable). Not thread-safe: perform custom
+  /// registrations at startup, before concurrent lookups begin.
+  int add(const char* name, const char* description, ScenarioCaps caps,
+          StreamFactory make_stream);
+
+  /// Capacity bound: 9 built-ins plus room for custom scenarios.
+  static constexpr std::size_t kReserved = 24;
+
+  const std::vector<ScenarioInfo>& scenarios() const noexcept {
+    return scenarios_;
+  }
+  const ScenarioInfo* find(const std::string& name) const noexcept;
+  const ScenarioInfo* find(int id) const noexcept;
+
+ private:
+  ScenarioRegistry() = default;
+  std::vector<ScenarioInfo> scenarios_;
+};
+
+/// Registration hook for the built-in scenarios, defined in scenario.cpp.
+void register_builtin_scenarios(ScenarioRegistry& r);
+
+/// Thin wrappers over ScenarioRegistry::instance(), matching factory.hpp.
+const std::vector<ScenarioInfo>& all_scenarios();
+const ScenarioInfo* find_scenario(const std::string& name);
+const ScenarioInfo* find_scenario(int id);
+
+/// The prefill a scenario's caps request, materialized as explicit add ops
+/// (deterministic in `seed` for Prefill::kHalf). Shared by the driver (which
+/// applies it before the workers start) and record_trace (which freezes it
+/// into the trace so replays are self-contained).
+std::vector<Op> prefill_ops(Prefill p, const Graph& g, uint64_t seed);
+
+/// Freeze a scenario into a trace: the prefill ops followed by the
+/// single-threaded op stream (at most `max_ops` stream draws; finite
+/// streams may end sooner). The result replays identically on every variant
+/// through replay_trace / the trace-replay scenario.
+io::Trace record_trace(const ScenarioInfo& s, const Graph& g,
+                       const RunConfig& cfg, std::size_t max_ops);
+void record_trace_file(const ScenarioInfo& s, const Graph& g,
+                       const RunConfig& cfg, std::size_t max_ops,
+                       const std::string& path);
+
+/// Sequentially apply a recorded op stream, returning each op's boolean
+/// result (0/1, indexed like `ops`). Deterministic: two correct variants
+/// must produce identical vectors for the same trace.
+std::vector<uint8_t> replay_trace(DynamicConnectivity& dc,
+                                  std::span<const Op> ops);
+
+}  // namespace condyn::harness

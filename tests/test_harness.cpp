@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "api/factory.hpp"
 #include "graph/cc.hpp"
@@ -44,10 +46,12 @@ TEST(Workload, StripesPartitionTheEdgeList) {
 
 TEST(Workload, RandomOpStreamHonorsReadPercent) {
   Graph g = gen::erdos_renyi(50, 120, 5);
-  for (int read_pct : {0, 80, 99}) {
+  // 99 and 85 give *odd* update shares: the old parity-based add/remove coin
+  // made removals impossible there (1% adds / 0% removes at 99% reads).
+  for (int read_pct : {0, 80, 85, 99}) {
     harness::RandomOpStream stream(g, read_pct, 77);
     int reads = 0, adds = 0, removes = 0;
-    constexpr int kDraws = 50000;
+    constexpr int kDraws = 200000;
     for (int i = 0; i < kDraws; ++i) {
       const Op op = stream.next();
       switch (op.kind) {
@@ -63,12 +67,51 @@ TEST(Workload, RandomOpStreamHonorsReadPercent) {
       }
       EXPECT_NE(op.u, op.v);
     }
-    EXPECT_NEAR(reads * 100.0 / kDraws, read_pct, 1.5);
-    // Additions and removals must balance (keeps |E| steady, §5.1).
+    EXPECT_NEAR(reads * 100.0 / kDraws, read_pct, 0.5);
+    // Additions and removals must balance (keeps |E| steady, §5.1): each is
+    // half the update share, within ~5 standard deviations.
+    const double update_share = (100.0 - read_pct) / 100.0;
+    const double expect_each = kDraws * update_share / 2;
+    const double slack = 5 * std::sqrt(expect_each) + 1;
+    EXPECT_NEAR(adds, expect_each, slack) << "read_pct=" << read_pct;
+    EXPECT_NEAR(removes, expect_each, slack) << "read_pct=" << read_pct;
     if (read_pct < 100) {
-      EXPECT_NEAR(adds, removes, kDraws * 0.02);
+      EXPECT_GT(adds, 0) << "read_pct=" << read_pct;
+      EXPECT_GT(removes, 0) << "read_pct=" << read_pct;
     }
   }
+}
+
+TEST(Workload, RunConfigValidation) {
+  harness::RunConfig cfg;
+  cfg.read_percent = 150;
+  cfg.batch_size = 0;
+  const harness::RunConfig ok = harness::validated(cfg);
+  EXPECT_EQ(ok.read_percent, 100);
+  EXPECT_EQ(ok.batch_size, 1u);
+  cfg.read_percent = -3;
+  EXPECT_EQ(harness::validated(cfg).read_percent, 0);
+
+  harness::RunConfig bad_threads;
+  bad_threads.threads = 0;
+  EXPECT_THROW(harness::validated(bad_threads), std::invalid_argument);
+
+  harness::RunConfig bad_measure;
+  bad_measure.measure_ms = 0;
+  EXPECT_THROW(harness::validated(bad_measure), std::invalid_argument);
+  bad_measure.measure_ms = -5;
+  EXPECT_THROW(harness::validated(bad_measure), std::invalid_argument);
+
+  harness::RunConfig bad_warmup;
+  bad_warmup.warmup_ms = -1;
+  EXPECT_THROW(harness::validated(bad_warmup), std::invalid_argument);
+
+  // The drivers validate on entry: an unusable config is rejected before
+  // any thread spawns instead of producing undefined downstream behavior.
+  Graph g = gen::erdos_renyi(20, 40, 2);
+  auto dc = make_variant(1, g.num_vertices());
+  EXPECT_THROW(harness::run_random(*dc, g, bad_threads),
+               std::invalid_argument);
 }
 
 TEST(Workload, BatchStreamMatchesPerOpStream) {
@@ -184,6 +227,33 @@ TEST(Report, SeriesRendersAllPoints) {
   EXPECT_NE(out.find("40.0"), std::string::npos);
   EXPECT_NE(out.find("full"), std::string::npos);
   EXPECT_NE(out.find("-"), std::string::npos);  // missing point placeholder
+}
+
+TEST(Report, JsonReportIsWellFormed) {
+  harness::JsonReport json("suite-\"quoted\"");
+  json.meta("seed", uint64_t{42});
+  json.meta("scale", 0.05);
+  json.add_record()
+      .field("scenario", "random")
+      .field("variant", std::string("co\narse"))
+      .field("threads", 4)
+      .field("ops_per_ms", 123.5)
+      .field("total_ops", uint64_t{99});
+  json.add_record().field("scenario", "zipfian").field("nan_guard",
+                                                       std::nan(""));
+  const std::string out = harness::json_report(json);
+  // Structure and escaping (newline in a value, quotes in the suite name).
+  EXPECT_NE(out.find("\"suite\": \"suite-\\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(out.find("\"variant\": \"co\\narse\""), std::string::npos);
+  EXPECT_NE(out.find("\"ops_per_ms\": 123.5"), std::string::npos);
+  EXPECT_NE(out.find("\"nan_guard\": null"), std::string::npos);
+  // Balanced braces/brackets: a cheap well-formedness proxy without a
+  // JSON parser in the test toolchain.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
 }
 
 TEST(Report, TableAlignsColumns) {
