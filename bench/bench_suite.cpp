@@ -13,8 +13,8 @@
 // Env knobs (harness::env_config, DESIGN.md §3): DC_BENCH_MILLIS / WARMUP /
 // THREADS / SCALE / SEED / FULL / VARIANTS / SCENARIOS / READS / BATCH /
 // TRACE, plus suite-specific:
-//   DC_BENCH_SECTIONS  comma list of sections to run
-//                      (default "graphs,sweep,stats,retries,ablation,dsu")
+//   DC_BENCH_SECTIONS  comma list of sections to run (default
+//                      "graphs,sweep,stats,retries,ablation,dsu,memory")
 //   DC_BENCH_JSON      JSON output path (default "bench_suite.json")
 #include <algorithm>
 #include <cstdlib>
@@ -44,6 +44,10 @@ RunConfig base_config(const EnvConfig& env) {
   cfg.warmup_ms = env.warmup_ms;
   cfg.measure_ms = env.measure_ms;
   cfg.trace_path = env.trace_path;
+  cfg.zipf_theta = env.zipf_theta;
+  cfg.window_fraction = env.window_fraction;
+  cfg.communities = env.communities;
+  cfg.run_length = env.run_length;
   return cfg;
 }
 
@@ -309,6 +313,77 @@ void ablation_section(const EnvConfig& env, JsonReport& json) {
   table.print();
 }
 
+/// DESIGN.md §7.4: allocation cost of the update path. Runs the random
+/// scenario (update-heavy) per variant at max threads and reports the
+/// memory-subsystem counters the workers accumulated during the measured
+/// window: allocator round trips per operation, the pool reuse share, and
+/// the process-wide resident footprint of pools + map segments. With
+/// DC_POOL=0 every pool allocation degrades to new/delete, which reproduces
+/// the seed's allocation behaviour — the pooled/passthrough ratio is the
+/// "allocator calls per update op" win the memory overhaul claims.
+void memory_section(const EnvConfig& env, JsonReport& json) {
+  TableReport table(
+      std::string("Memory subsystem, random scenario (pooling ") +
+          (pool_stats::pooling_enabled() ? "on" : "OFF — DC_POOL=0") + ")",
+      {"graph", "variant", "threads", "allocs/1k ops", "pool hit %",
+       "recycled/1k ops", "alloc KiB/1k ops", "resident +MiB"});
+  const unsigned threads = env.thread_counts.back();
+  for (const Graph& g : bench::small_graphs(env)) {
+    for (int id : bench::variant_set(env, {1, 9})) {
+      auto dc = make_variant(id, g.num_vertices());
+      RunConfig cfg = base_config(env);
+      cfg.threads = threads;
+      cfg.read_percent = 0;  // updates only: the allocation-heavy mix
+      // resident_bytes() is a process-wide gauge and pool slabs persist
+      // across runs (earlier rows' slabs get *reused* by later rows), so
+      // each row reports its own growth, not the cumulative footprint.
+      const uint64_t resident_before = pool_stats::resident_bytes();
+      const RunResult r = harness::run_random(*dc, g, cfg);
+      const uint64_t resident_after = pool_stats::resident_bytes();
+      const uint64_t resident_delta =
+          resident_after > resident_before ? resident_after - resident_before
+                                           : 0;
+      const auto& m = r.mem_counters;
+      const double ops = r.total_ops > 0 ? static_cast<double>(r.total_ops) : 1;
+      const double pool_served =
+          static_cast<double>(m.pool_fresh + m.pool_reused);
+      const double hit_pct =
+          pool_served > 0 ? 100.0 * m.pool_reused / pool_served : 0;
+      const double resident_mib =
+          static_cast<double>(resident_delta) / (1024.0 * 1024.0);
+      table.add_row(
+          {g.name, bench::variant_label(id), std::to_string(threads),
+           TableReport::num(1000.0 * m.allocator_calls / ops),
+           TableReport::pct(hit_pct),
+           TableReport::num(1000.0 * m.pool_recycled / ops),
+           TableReport::num(1000.0 * m.bytes_allocated / 1024.0 / ops),
+           TableReport::num(resident_mib)});
+      json.add_record()
+          .field("section", "memory")
+          .field("scenario", "random")
+          .field("graph", g.name)
+          .field("variant", bench::variant_label(id))
+          .field("variant_id", id)
+          .field("threads", static_cast<int>(threads))
+          .field("pooling", pool_stats::pooling_enabled() ? 1 : 0)
+          .field("total_ops", r.total_ops)
+          .field("ops_per_ms", r.ops_per_ms)
+          .field("allocator_calls", m.allocator_calls)
+          .field("allocator_frees", m.allocator_frees)
+          .field("bytes_allocated", m.bytes_allocated)
+          .field("allocs_per_op",
+                 static_cast<double>(m.allocator_calls) / ops)
+          .field("pool_fresh", m.pool_fresh)
+          .field("pool_reused", m.pool_reused)
+          .field("pool_recycled", m.pool_recycled)
+          .field("pool_hit_percent", hit_pct)
+          .field("resident_bytes", resident_delta)
+          .field("resident_bytes_total", resident_after);
+    }
+  }
+  table.print();
+}
+
 /// Minimal DynamicConnectivity facade over union-find: additions and
 /// queries only; removals abort (never issued by the incremental driver).
 class DsuDc final : public DynamicConnectivity {
@@ -443,8 +518,9 @@ int main(int argc, char** argv) {
   json.meta("warmup_ms", static_cast<uint64_t>(env.warmup_ms));
   json.meta("full", static_cast<uint64_t>(env.full ? 1 : 0));
 
-  for (const std::string& section : harness::env_list(
-           "DC_BENCH_SECTIONS", "graphs,sweep,stats,retries,ablation,dsu")) {
+  for (const std::string& section :
+       harness::env_list("DC_BENCH_SECTIONS",
+                         "graphs,sweep,stats,retries,ablation,dsu,memory")) {
     if (section == "graphs") {
       graphs_section(env, json);
     } else if (section == "sweep") {
@@ -457,6 +533,8 @@ int main(int argc, char** argv) {
       ablation_section(env, json);
     } else if (section == "dsu") {
       dsu_section(env, json);
+    } else if (section == "memory") {
+      memory_section(env, json);
     } else {
       std::printf("# unknown section \"%s\" skipped\n", section.c_str());
     }

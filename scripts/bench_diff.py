@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare two bench_suite.json artifacts and flag throughput regressions.
+
+Usage:
+    scripts/bench_diff.py BASELINE.json CURRENT.json [options]
+
+Sweep records are matched on (scenario, graph, variant, threads,
+read_percent, batch_size); a data point whose ops_per_ms dropped by more
+than --threshold percent (default 10) is a regression. Memory-section
+records are matched the same way on allocs_per_op (an *increase* beyond the
+threshold is the regression there).
+
+Exit status: 0 = clean, 1 = regressions (or coverage loss), 2 = bad input.
+
+Two classes of finding:
+  * coverage loss — a (scenario x variant x ...) key present in the
+    baseline but absent from the current run. Machine-independent, always
+    an error unless --allow-missing.
+  * throughput drop — ops_per_ms fell beyond the threshold. Throughput is
+    machine-dependent, so CI compares a fresh run against a checked-in
+    baseline with --warn-only (drops are reported, not fatal) while local
+    before/after runs on one machine use the default hard mode.
+"""
+
+import argparse
+import json
+import sys
+
+SWEEP_KEY = ("scenario", "graph", "variant", "threads", "read_percent",
+             "batch_size")
+MEMORY_KEY = ("scenario", "graph", "variant", "threads")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if "results" not in data:
+        sys.exit(f"bench_diff: {path} has no 'results' array "
+                 "(not a bench_suite artifact?)")
+    return data
+
+
+def index(results, section, key_fields, value_field):
+    out = {}
+    for r in results:
+        if r.get("section") != section or r.get(value_field) is None:
+            continue
+        r = dict(r)
+        if r.get("scenario") == "trace-replay":
+            # The trace-replay "graph" is the trace file *path*, which varies
+            # between runs/machines; normalize so the data points match.
+            r["graph"] = "<trace>"
+        key = tuple(r.get(k) for k in key_fields)
+        out[key] = r[value_field]
+    return out
+
+
+def fmt_key(key_fields, key):
+    return " ".join(f"{f}={v}" for f, v in zip(key_fields, key)
+                    if v not in (None, "", 0) or f in ("scenario", "variant"))
+
+
+def compare(name, key_fields, base, cur, threshold, higher_is_better):
+    """Returns (regressions, missing, improvements) message lists."""
+    regressions, missing, improvements = [], [], []
+    for key, b in sorted(base.items(), key=str):
+        if key not in cur:
+            missing.append(f"  [{name}] missing: {fmt_key(key_fields, key)}")
+            continue
+        c = cur[key]
+        if b <= 0:
+            continue
+        delta_pct = 100.0 * (c - b) / b
+        drop = -delta_pct if higher_is_better else delta_pct
+        fmt = ".1f" if min(b, c) >= 10 else ".4g"
+        line = (f"  [{name}] {fmt_key(key_fields, key)}: "
+                f"{b:{fmt}} -> {c:{fmt}} ({delta_pct:+.1f}%)")
+        if drop > threshold:
+            regressions.append(line)
+        elif drop < -threshold:
+            improvements.append(line)
+    return regressions, missing, improvements
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report throughput drops without failing "
+                         "(for cross-machine comparisons in CI)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="do not fail on scenario x variant coverage loss")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    checks = [
+        ("sweep", SWEEP_KEY, "ops_per_ms", True),
+        ("memory", MEMORY_KEY, "allocs_per_op", False),
+    ]
+    all_regressions, all_missing, all_improvements = [], [], []
+    compared = 0
+    for section, key_fields, value_field, higher in checks:
+        b = index(base["results"], section, key_fields, value_field)
+        c = index(cur["results"], section, key_fields, value_field)
+        compared += len(b)
+        r, m, i = compare(section, key_fields, b, c, args.threshold, higher)
+        all_regressions += r
+        all_missing += m
+        all_improvements += i
+
+    if compared == 0:
+        sys.exit(f"bench_diff: no comparable records in {args.baseline}")
+
+    print(f"bench_diff: {compared} baseline data points, "
+          f"threshold {args.threshold:.0f}%")
+    for title, lines in (("coverage loss", all_missing),
+                         ("regressions", all_regressions),
+                         ("improvements", all_improvements)):
+        if lines:
+            print(f"{title} ({len(lines)}):")
+            for line in lines:
+                print(line)
+    if not (all_missing or all_regressions):
+        print("no regressions")
+
+    if all_missing and not args.allow_missing:
+        return 1
+    if all_regressions and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,13 @@ import json, sys
 d = json.load(open('$json'))
 n = len({r['scenario'] for r in d['results'] if r['section'] == 'sweep'})
 assert n >= 9, f'expected >= 9 scenarios, got {n}'
+assert [r for r in d['results'] if r['section'] == 'memory'], 'no memory records'
 print(f'bench_suite smoke: {len(d[\"results\"])} JSON records, {n} scenarios')
 "
+
+# Regression diff against the checked-in baseline: coverage loss fails,
+# throughput deltas are warn-only (machine-dependent — gate throughput by
+# diffing two runs of bench_suite on one machine instead).
+python3 scripts/bench_diff.py bench/baseline.json "$json" --warn-only
 
 echo "check.sh: all green"

@@ -32,9 +32,12 @@ class ComponentGuard {
       lo->lock.lock();
       if (hi != lo) hi->lock.lock();
       // Listing 2's re-check: the locked nodes must still be roots and must
-      // still be the representatives of u's and v's components.
-      if (ru->parent.load(std::memory_order_seq_cst) == nullptr &&
-          rv->parent.load(std::memory_order_seq_cst) == nullptr &&
+      // still be the representatives of u's and v's components. Acquire
+      // suffices: any writer that demoted ru/rv did so while holding this
+      // very lock, so the lock handoff already orders its parent store
+      // before our load (DESIGN.md §7.3).
+      if (ru->parent.load(std::memory_order_acquire) == nullptr &&
+          rv->parent.load(std::memory_order_acquire) == nullptr &&
           ett::find_root(nu) == ru && ett::find_root(nv) == rv) {
         a_ = lo;
         b_ = hi;
@@ -78,8 +81,8 @@ class SharedComponentGuard {
       ett::Node* hi = ru <= rv ? rv : ru;
       lo->lock.lock_shared();
       if (hi != lo) hi->lock.lock_shared();
-      if (ru->parent.load(std::memory_order_seq_cst) == nullptr &&
-          rv->parent.load(std::memory_order_seq_cst) == nullptr &&
+      if (ru->parent.load(std::memory_order_acquire) == nullptr &&
+          rv->parent.load(std::memory_order_acquire) == nullptr &&
           ett::find_root(nu) == ru && ett::find_root(nv) == rv) {
         a_ = lo;
         b_ = hi;

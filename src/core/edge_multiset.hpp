@@ -5,6 +5,7 @@
 
 #include "graph/graph.hpp"
 #include "util/ebr.hpp"
+#include "util/node_pool.hpp"
 
 namespace condyn {
 
@@ -35,19 +36,21 @@ class VertexMultiset {
   VertexMultiset& operator=(const VertexMultiset&) = delete;
 
   ~VertexMultiset() {
-    // Teardown is single-threaded (owning map's destructor): free directly.
+    // Teardown is single-threaded (owning map's destructor): recycle the
+    // cells straight into the pool.
     Cell* c = head_.load(std::memory_order_relaxed);
     while (c != nullptr) {
       Cell* next = strip(c->next.load(std::memory_order_relaxed));
-      delete c;
+      pool().destroy(c);
       c = next;
     }
   }
 
-  /// Insert one copy of `v`. Lock-free, O(1).
+  /// Insert one copy of `v`. Lock-free, O(1); the cell comes from the pool
+  /// (non-spanning adds are the single hottest allocation site).
   void add(Vertex v) {
     auto guard = ebr::pin();
-    Cell* cell = new Cell{v, {}};
+    Cell* cell = pool().create(v);
     Cell* h = head_.load(std::memory_order_seq_cst);
     for (;;) {
       cell->next.store(h, std::memory_order_relaxed);
@@ -100,6 +103,8 @@ class VertexMultiset {
     std::atomic<Cell*> next{nullptr};
   };
 
+  static NodePool<Cell>& pool() { return NodePool<Cell>::instance(); }
+
   static bool marked(Cell* p) noexcept {
     return (reinterpret_cast<uintptr_t>(p) & 1) != 0;
   }
@@ -123,7 +128,7 @@ class VertexMultiset {
     while (h != nullptr && cell_dead(h)) {
       Cell* next = strip(h->next.load(std::memory_order_seq_cst));
       if (head_.compare_exchange_weak(h, next, std::memory_order_seq_cst)) {
-        ebr::retire(h);
+        pool().retire(h);  // recycles after the grace period
         h = next;
       }
       // CAS failure reloaded h; loop re-tests.

@@ -122,7 +122,8 @@ struct EdgeStateCell {
 /// Sharded edge → state table of the full algorithm.
 class EdgeStateMap {
  public:
-  explicit EdgeStateMap(unsigned shards = 64) : map_(shards) {}
+  explicit EdgeStateMap(std::size_t expected_keys = 0, unsigned shards = 0)
+      : map_(expected_keys, shards) {}
 
   /// The record for (u,v), created (as kRemoved) if missing.
   EdgeStateCell* cell(const Edge& e) { return map_.get_or_create(e); }

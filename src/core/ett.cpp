@@ -4,11 +4,19 @@
 
 #include "core/stats.hpp"
 #include "util/ebr.hpp"
+#include "util/node_pool.hpp"
 #include "util/random.hpp"
 
 namespace condyn::ett {
 
 namespace {
+
+/// Tour nodes come from the cacheline-strided pool (DESIGN.md §7.1): link()
+/// and cut() recycle arc nodes through the EBR grace period instead of
+/// paying the general-purpose allocator per spanning update.
+NodePool<Node, kCacheLine>& node_pool() {
+  return NodePool<Node, kCacheLine>::instance();
+}
 
 constexpr uint64_t kVertexPriorityBit = uint64_t{1} << 63;
 
@@ -23,6 +31,12 @@ uint64_t draw_arc_priority() noexcept { return thread_rng().next() >> 1; }
 uint32_t sz(const Node* x) noexcept { return x ? x->size : 0; }
 uint32_t vc(const Node* x) noexcept { return x ? x->vcount : 0; }
 bool sla(const Node* x) noexcept { return x ? x->sub_level_arc : false; }
+// sub_nonspanning / local_nonspanning stay seq_cst everywhere: the flag
+// protocol is a store-load (Dekker) race — recalculate_flags stores false
+// then re-reads the inputs, while a lock-free adder bumps the counter then
+// reads the flag (Lemma C.1). Acquire/release cannot order a store before a
+// later load of a different variable, so both sides need the seq_cst total
+// order. See the audit table in DESIGN.md §7.3.
 bool sns(const Node* x) noexcept {
   return x && x->sub_nonspanning.load(std::memory_order_seq_cst);
 }
@@ -37,19 +51,27 @@ bool local_ns(const Node* x) noexcept {
 // ---------------------------------------------------------------------------
 
 RootSnapshot find_root_versioned(const Node* start) noexcept {
+  // parent/version run at acquire (not seq_cst — this is THE read hot path):
+  // every writer bumps the involved root versions before its first physical
+  // store (I3) and issues every physical store with release, so a reader
+  // that acquires *any* store of an update observes that update's version
+  // bumps on its subsequent version read. If the reader instead saw only
+  // pre-update values, its snapshot is a consistent older state. That is
+  // exactly the seqlock-style double-collect argument of Listing 1; no
+  // cross-variable total order is consulted (DESIGN.md §7.3).
   const Node* cur = start;
   for (;;) {
-    const Node* p = cur->parent.load(std::memory_order_seq_cst);
+    const Node* p = cur->parent.load(std::memory_order_acquire);
     if (p == nullptr) break;
     cur = p;
   }
-  return {cur, cur->version.load(std::memory_order_seq_cst)};
+  return {cur, cur->version.load(std::memory_order_acquire)};
 }
 
 Node* find_root(Node* start) noexcept {
   Node* cur = start;
   for (;;) {
-    Node* p = cur->parent.load(std::memory_order_seq_cst);
+    Node* p = cur->parent.load(std::memory_order_acquire);
     if (p == nullptr) return cur;
     cur = p;
   }
@@ -86,12 +108,14 @@ bool connected_nonblocking(const Node* nu, const Node* nv) noexcept {
 
 void set_flags_up(Node* x) noexcept {
   // Listing 6's set_flags_up: stop as soon as a flag is already raised —
-  // the raiser that performed that transition continues the walk.
+  // the raiser that performed that transition continues the walk. The flag
+  // accesses stay seq_cst (Dekker pair with recalculate_flags, see sns());
+  // the parent chase itself only needs acquire like any reader ascent.
   Node* cur = x;
   while (cur != nullptr) {
     if (cur->sub_nonspanning.load(std::memory_order_seq_cst)) return;
     cur->sub_nonspanning.store(true, std::memory_order_seq_cst);
-    cur = cur->parent.load(std::memory_order_seq_cst);
+    cur = cur->parent.load(std::memory_order_acquire);
   }
 }
 
@@ -101,8 +125,13 @@ void set_flags_up(Node* x) noexcept {
 
 void Forest::set_parent(Node* child, Node* p) noexcept {
   assert(p == nullptr || node_less(child, p));  // invariant I1
+  // Release: a reader that acquires this store must also observe the
+  // version bumps sequenced before it in the writer (I3) — the pairing
+  // find_root_versioned's acquire loads rely on. No reader decision is
+  // based on the relative order of two different writers' independent
+  // stores, so the stronger seq_cst total order is not needed here.
   if (child->parent.load(std::memory_order_relaxed) != p)
-    child->parent.store(p, std::memory_order_seq_cst);
+    child->parent.store(p, std::memory_order_release);
 }
 
 void Forest::pull(Node* x) noexcept {
@@ -213,22 +242,24 @@ Node* Forest::reroot(Node* u_node) noexcept {
 Forest::Forest(Vertex n, int level)
     : n_(n),
       level_(level),
-      nodes_(std::make_unique<std::atomic<Node*>[]>(n)) {
+      nodes_(std::make_unique<std::atomic<Node*>[]>(n)),
+      arcs_(n) {  // a spanning forest holds at most n-1 arc pairs
   for (Vertex i = 0; i < n; ++i)
     nodes_[i].store(nullptr, std::memory_order_relaxed);
 }
 
 Forest::~Forest() {
+  // Teardown is quiescent: recycle every node straight into the pool.
   arcs_.for_each([](const Edge&, ArcPair& p) {
-    delete p.uv;
-    delete p.vu;
+    node_pool().destroy(p.uv);
+    node_pool().destroy(p.vu);
   });
   for (Vertex i = 0; i < n_; ++i)
-    delete nodes_[i].load(std::memory_order_relaxed);
+    node_pool().destroy(nodes_[i].load(std::memory_order_relaxed));
 }
 
 Node* Forest::new_vertex_node(Vertex v) {
-  Node* x = new Node();
+  Node* x = node_pool().create();
   x->priority = draw_vertex_priority();
   x->tail = x->head = v;
   x->is_vertex = true;
@@ -237,7 +268,7 @@ Node* Forest::new_vertex_node(Vertex v) {
 }
 
 Node* Forest::new_arc_node(Vertex t, Vertex h, uint64_t) {
-  Node* x = new Node();
+  Node* x = node_pool().create();
   x->priority = draw_arc_priority();
   x->tail = t;
   x->head = h;
@@ -254,7 +285,9 @@ Node* Forest::vertex_node(Vertex v) {
                                         std::memory_order_acq_rel)) {
     return fresh;
   }
-  delete fresh;  // lost the creation race
+  // Lost the creation race: nobody else can hold `fresh`, so it goes back
+  // to the pool immediately (the seed heap-deleted here, bypassing reuse).
+  node_pool().destroy(fresh);
   return cur;
 }
 
@@ -286,9 +319,11 @@ void Forest::link(Vertex u, Vertex v) {
   assert(ru != rv && "link precondition: different components");
   assert(!has_edge(u, v));
 
-  // I3: bump both root versions before any physical change.
-  ru->version.fetch_add(1, std::memory_order_seq_cst);
-  rv->version.fetch_add(1, std::memory_order_seq_cst);
+  // I3: bump both root versions before any physical change. Release: the
+  // bumps only need to be visible to readers that acquire a later physical
+  // store of this update (see set_parent / DESIGN.md §7.3).
+  ru->version.fetch_add(1, std::memory_order_release);
+  rv->version.fetch_add(1, std::memory_order_release);
 
   // Logical merge (Fig. 2): one store makes the two trees one component for
   // concurrent readers. The lower-priority root points at the higher one, so
@@ -337,8 +372,9 @@ Forest::CutHandle Forest::cut_prepare(Vertex u, Vertex v) {
   Node* b = u <= v ? pair->vu : pair->uv;  // arc v->u
 
   Node* rt = find_root(a);
-  // I3: bump the current root's version before any physical change.
-  rt->version.fetch_add(1, std::memory_order_seq_cst);
+  // I3: bump the current root's version before any physical change
+  // (release — paired with readers' acquire loads, see link()).
+  rt->version.fetch_add(1, std::memory_order_release);
 
   if (rank_of(a) > rank_of(b)) std::swap(a, b);
 
@@ -381,13 +417,15 @@ void Forest::cut_commit(CutHandle& h) {
   // (I3), then the single null store is the linearization point (Fig. 3).
   Node* fresh_root = (h.root_u == h.old_root) ? h.root_v : h.root_u;
   assert(fresh_root != h.old_root);
-  fresh_root->version.fetch_add(1, std::memory_order_seq_cst);
-  fresh_root->parent.store(nullptr, std::memory_order_seq_cst);
+  // The version bump must be visible to any reader that acquires the null
+  // store below; release on both gives exactly that (I3 + DESIGN.md §7.3).
+  fresh_root->version.fetch_add(1, std::memory_order_release);
+  fresh_root->parent.store(nullptr, std::memory_order_release);
 
   // I4: readers may still be traversing the removed arcs; their stale parent
-  // pointers keep chains valid, and EBR delays the actual free.
-  ebr::retire(h.arc1);
-  ebr::retire(h.arc2);
+  // pointers keep chains valid, and EBR delays the recycle into the pool.
+  node_pool().retire(h.arc1);
+  node_pool().retire(h.arc2);
 }
 
 void Forest::cut_relink(CutHandle& h, Vertex x, Vertex y) {
@@ -423,8 +461,8 @@ void Forest::cut_relink(CutHandle& h, Vertex x, Vertex y) {
   assert(t == h.old_root);
   assert(h.old_root->parent.load(std::memory_order_relaxed) == nullptr);
 
-  ebr::retire(h.arc1);
-  ebr::retire(h.arc2);
+  node_pool().retire(h.arc1);
+  node_pool().retire(h.arc2);
 }
 
 void Forest::cut(Vertex u, Vertex v) {

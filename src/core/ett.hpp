@@ -34,7 +34,12 @@ namespace condyn::ett {
 ///  I4 (reclamation)  removed arc nodes keep their stale parent pointers and
 ///                    are retired through EBR, never freed in place.
 struct Node {
-  // --- fields shared with lock-free readers (seq_cst) ----------------------
+  // --- fields shared with lock-free readers --------------------------------
+  // parent/version run under acquire/release (writers bump versions before
+  // any physical store, every physical store is a release — the seqlock
+  // double-collect of Listing 1 needs no cross-variable total order);
+  // sub_nonspanning/local_nonspanning/removal_op stay seq_cst because their
+  // protocols are store-load races. Full audit table: DESIGN.md §7.3.
   std::atomic<Node*> parent{nullptr};
   std::atomic<uint64_t> version{0};
   /// Subtree contains a vertex with adjacent non-spanning edges at this

@@ -25,6 +25,7 @@ Hdt::Hdt(Vertex n, bool sampling)
       lmax_(levels_for(std::max<Vertex>(n, 2))),
       sampling_(sampling),
       forests_(std::make_unique<std::atomic<Forest*>[]>(lmax_ + 2)),
+      edges_(2 * static_cast<std::size_t>(n)),  // steady-state |E| guess
       adj_(std::make_unique<ShardedU64Map<AdjSet>[]>(lmax_ + 2)) {
   for (int i = 0; i <= lmax_ + 1; ++i)
     forests_[i].store(nullptr, std::memory_order_relaxed);
@@ -224,7 +225,7 @@ bool Hdt::search_replacement(int i, Node* x, Node* other_root, Edge* out) {
     AdjSet* rec = adj_[i].find(a);
     Forest& fi = forest(i);
     while (rec != nullptr && !rec->s.empty()) {
-      const Vertex w = *rec->s.begin();
+      const Vertex w = rec->s.front();
       if (Forest::find_piece_root(fi.vertex_node(w)) == other_root) {
         *out = Edge(a, w);
         adj_erase(i, a, w);  // it becomes spanning; caller links it
@@ -294,8 +295,8 @@ void Hdt::check_invariants() {
     } else {
       [[maybe_unused]] AdjSet* au = adj_[info.level].find(e.u);
       [[maybe_unused]] AdjSet* av = adj_[info.level].find(e.v);
-      assert(au != nullptr && au->s.count(e.v) == 1);
-      assert(av != nullptr && av->s.count(e.u) == 1);
+      assert(au != nullptr && au->s.contains(e.v));
+      assert(av != nullptr && av->s.contains(e.u));
     }
     // Size invariant: the component of e in G_level has ≤ n/2^level vertices.
     Forest* f = forest_if(info.level);

@@ -3,13 +3,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "api/dynamic_connectivity.hpp"
 #include "core/ett.hpp"
 #include "core/sharded_map.hpp"
 #include "graph/graph.hpp"
+#include "util/small_flat_set.hpp"
 
 namespace condyn {
 
@@ -92,8 +92,11 @@ class Hdt {
     bool present = false;
   };
 
+  /// Per-(vertex, level) non-spanning neighbors. A small-inline flat set:
+  /// degree is tiny almost always, so membership is a linear scan and the
+  /// common case allocates nothing (DESIGN.md §7.2).
   struct AdjSet {
-    std::unordered_set<Vertex> s;
+    SmallFlatSet<Vertex> s;
   };
 
   ett::Forest& forest(int i);

@@ -5,6 +5,7 @@
 
 #include "core/stats.hpp"
 #include "util/ebr.hpp"
+#include "util/node_pool.hpp"
 
 namespace condyn {
 
@@ -12,6 +13,15 @@ using ett::Forest;
 using ett::Node;
 
 namespace {
+
+/// Removal descriptors and proposal cells are allocated per spanning remove
+/// / per proposal and retired through EBR; both recycle through the pool
+/// (DESIGN.md §7.1). A reused RemovalOp is placement-new'd, so its slot
+/// starts empty again.
+NodePool<RemovalOp>& op_pool() { return NodePool<RemovalOp>::instance(); }
+NodePool<RemovalOp::Cell>& cell_pool() {
+  return NodePool<RemovalOp::Cell>::instance();
+}
 
 int levels_for(Vertex n) noexcept {
   int l = 0;
@@ -33,6 +43,7 @@ NbHdt::NbHdt(Vertex n, NbLockMode mode, bool sampling)
       mode_(mode),
       sampling_(sampling),
       forests_(std::make_unique<std::atomic<Forest*>[]>(lmax_ + 2)),
+      states_(2 * static_cast<std::size_t>(n)),  // steady-state |E| guess
       adj_(std::make_unique<ShardedU64Map<VertexMultiset>[]>(lmax_ + 2)) {
   for (int i = 0; i <= lmax_ + 1; ++i)
     forests_[i].store(nullptr, std::memory_order_relaxed);
@@ -119,7 +130,9 @@ NbHdt::CutSide NbHdt::cut_side(const RemovalOp* op, Vertex x) {
   bool saw_detached = false;
   for (;;) {
     if (cur == op->detached_root) saw_detached = true;
-    const Node* p = cur->parent.load(std::memory_order_seq_cst);
+    // Acquire suffices: this ascent only needs each pointer it dereferences
+    // to be a fully-published node, like every reader ascent (§7.3).
+    const Node* p = cur->parent.load(std::memory_order_acquire);
     if (p == nullptr) break;
     cur = p;
   }
@@ -155,11 +168,11 @@ NbHdt::ProposeResult NbHdt::propose_replacement(RemovalOp* op, const Edge& e,
   for (;;) {
     RemovalOp::Cell* cur = op->slot.load(std::memory_order_seq_cst);
     if (cur == RemovalOp::closed()) {
-      delete mine;
+      cell_pool().destroy(mine);
       return ProposeResult::kClosed;
     }
     if (cur == nullptr) {
-      if (mine == nullptr) mine = new RemovalOp::Cell{e, state, rec};
+      if (mine == nullptr) mine = cell_pool().create(e, state, rec);
       RemovalOp::Cell* expected = nullptr;
       if (op->slot.compare_exchange_strong(expected, mine,
                                            std::memory_order_seq_cst)) {
@@ -172,7 +185,7 @@ NbHdt::ProposeResult NbHdt::propose_replacement(RemovalOp* op, const Edge& e,
       RemovalOp::Cell* expected = cur;
       if (op->slot.compare_exchange_strong(expected, nullptr,
                                            std::memory_order_seq_cst)) {
-        ebr::retire(cur);
+        cell_pool().retire(cur);
       }
       continue;
     }
@@ -186,7 +199,7 @@ NbHdt::ProposeResult NbHdt::propose_replacement(RemovalOp* op, const Edge& e,
       // rejects the stale cell — an orphaned spanning edge with no arcs.
       // A stale same-edge cell instead falls through to the help/evict path
       // below, which evicts it (its CAS word can never match again).
-      delete mine;
+      cell_pool().destroy(mine);
       return ProposeResult::kProposed;
     }
     // A different edge occupies the slot — help finalize it (make it
@@ -194,13 +207,13 @@ NbHdt::ProposeResult NbHdt::propose_replacement(RemovalOp* op, const Edge& e,
     EdgeState occ = cur->state;
     if (cur->rec->cas(occ, occ.with(kSpanning, 0), 17)) {
       *winner = *cur;
-      delete mine;
+      cell_pool().destroy(mine);
       return ProposeResult::kOtherWon;
     }
     const EdgeState now = cur->rec->load();
     if (now.status() == kSpanning && now.stamp() == occ.stamp()) {
       *winner = *cur;
-      delete mine;
+      cell_pool().destroy(mine);
       return ProposeResult::kOtherWon;
     }
     // The occupant was removed, demoted to plain non-spanning by a joiner,
@@ -208,7 +221,7 @@ NbHdt::ProposeResult NbHdt::propose_replacement(RemovalOp* op, const Edge& e,
     RemovalOp::Cell* expected = cur;
     if (op->slot.compare_exchange_strong(expected, nullptr,
                                          std::memory_order_seq_cst)) {
-      ebr::retire(cur);
+      cell_pool().retire(cur);
     }
   }
 }
@@ -230,7 +243,7 @@ RemovalOp::Cell* NbHdt::finalize_replacement_search(RemovalOp* op) {
       RemovalOp::Cell* expected = cur;
       if (op->slot.compare_exchange_strong(expected, nullptr,
                                            std::memory_order_seq_cst)) {
-        ebr::retire(cur);
+        cell_pool().retire(cur);
       }
       continue;
     }
@@ -241,7 +254,7 @@ RemovalOp::Cell* NbHdt::finalize_replacement_search(RemovalOp* op) {
     RemovalOp::Cell* expected = cur;
     if (op->slot.compare_exchange_strong(expected, nullptr,
                                          std::memory_order_seq_cst)) {
-      ebr::retire(cur);
+      cell_pool().retire(cur);
     }
   }
 }
@@ -490,7 +503,7 @@ void NbHdt::remove_spanning_edge(const Edge& e, EdgeState st,
                    ? h.root_u
                    : h.root_v;
     Node* other = (tv == h.root_u) ? h.root_v : h.root_u;
-    auto* op = new RemovalOp();
+    auto* op = op_pool().create();
     op->u = e.u;
     op->v = e.v;
     op->old_root = h.old_root;
@@ -519,7 +532,7 @@ void NbHdt::remove_spanning_edge(const Edge& e, EdgeState st,
       // winner stays kSpanning, so no helper can clear it before this store,
       // which also makes us the unique retirer of the cell.
       op->slot.store(RemovalOp::closed(), std::memory_order_seq_cst);
-      ebr::retire(winner);
+      cell_pool().retire(winner);
     } else {
       forest0_->cut_commit(h);
 #ifdef CONDYN_TRACE_EDGE_STATES
@@ -527,7 +540,7 @@ void NbHdt::remove_spanning_edge(const Edge& e, EdgeState st,
 #endif
     }
     h.old_root->removal_op.store(nullptr, std::memory_order_seq_cst);
-    ebr::retire(op);
+    op_pool().retire(op);
   } else {
     // Replacement found above level 0: no descriptor was ever published, so
     // no proposal can exist; relink and record the new spanning edge.

@@ -2,6 +2,12 @@
 
 #include <cstdint>
 
+// Memory-subsystem counters (pool hits, allocator calls, bytes) ride
+// alongside the operation counters: the harness resets and collects
+// pool_stats::local() at the same points as op_stats::local(), and
+// bench_suite's `memory` section reports both (DESIGN.md §7.4).
+#include "util/pool_stats.hpp"
+
 namespace condyn::op_stats {
 
 /// Thread-local operation statistics matching what the paper reports:

@@ -160,11 +160,20 @@ Trace load_trace(std::istream& in) {
   Trace t;
   t.num_vertices = read_u32(in);
   const uint64_t count = read_u64(in);
-  // Don't trust the header's count for the allocation: a corrupt field
-  // would turn into a huge reserve (std::length_error / OOM) instead of the
-  // "truncated trace" error the per-op reads below produce. Growth past the
-  // clamp is amortized push_back.
-  t.ops.reserve(std::min<uint64_t>(count, 1 << 20));
+  // Reserve from the header count, but validate it against the bytes the
+  // stream actually holds first (9 bytes per op): a corrupt count field
+  // must produce the "truncated trace" error below, not a huge reserve
+  // (std::length_error / OOM). Unseekable streams fall back to a clamp.
+  uint64_t max_ops = 1 << 20;
+  const auto pos = in.tellg();
+  if (pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    in.seekg(pos);
+    if (end != std::istream::pos_type(-1) && end >= pos)
+      max_ops = static_cast<uint64_t>(end - pos) / 9;
+  }
+  t.ops.reserve(std::min(count, max_ops));
   for (uint64_t i = 0; i < count; ++i) {
     char kind;
     if (!in.read(&kind, 1)) fail("truncated trace");

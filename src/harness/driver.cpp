@@ -48,6 +48,7 @@ struct ThreadTotals {
   uint64_t ops = 0;
   op_stats::Counters op_counters;
   lock_stats::Counters lock_counters;
+  pool_stats::Counters mem_counters;
   uint64_t batches = 0;
   uint64_t batch_ns_total = 0;
   uint64_t batch_ns_max = 0;
@@ -63,6 +64,7 @@ RunResult combine(const std::vector<ThreadTotals>& totals, double elapsed_ms,
   for (const ThreadTotals& t : totals) {
     r.total_ops += t.ops;
     r.op_counters += t.op_counters;
+    r.mem_counters += t.mem_counters;
     r.lock_counters.wait_ns += t.lock_counters.wait_ns;
     r.lock_counters.acquisitions += t.lock_counters.acquisitions;
     r.lock_counters.contended += t.lock_counters.contended;
@@ -139,6 +141,7 @@ RunResult run_timed(const ScenarioInfo& s, DynamicConnectivity& dc,
       // Measurement starts with clean per-thread counters.
       op_stats::reset_local();
       lock_stats::reset_local();
+      pool_stats::reset_local();
       ThreadTotals& mine = totals[t];
       while (phase.load(std::memory_order_acquire) == 1) {
         if (s.caps.batched) {
@@ -159,6 +162,7 @@ RunResult run_timed(const ScenarioInfo& s, DynamicConnectivity& dc,
       }
       mine.op_counters = op_stats::local();
       mine.lock_counters = lock_stats::local();
+      mine.mem_counters = pool_stats::local();
     });
   }
 
@@ -190,6 +194,7 @@ RunResult run_finite(const ScenarioInfo& s, DynamicConnectivity& dc,
       start.arrive_and_wait();
       op_stats::reset_local();
       lock_stats::reset_local();
+      pool_stats::reset_local();
       ThreadTotals& mine = totals[t];
       if (s.caps.batched) {
         std::size_t n;
@@ -211,6 +216,7 @@ RunResult run_finite(const ScenarioInfo& s, DynamicConnectivity& dc,
       }
       mine.op_counters = op_stats::local();
       mine.lock_counters = lock_stats::local();
+      mine.mem_counters = pool_stats::local();
     });
   }
   start.arrive_and_wait();
@@ -243,6 +249,11 @@ RunConfig validated(const RunConfig& cfg) {
   RunConfig out = cfg;
   out.read_percent = std::clamp(out.read_percent, 0, 100);
   if (out.batch_size == 0) out.batch_size = 1;
+  // Generator knobs: clamp rather than reject — sweeps feed raw env values.
+  out.zipf_theta = std::clamp(out.zipf_theta, 0.01, 0.999);
+  out.window_fraction = std::clamp(out.window_fraction, 0.01, 1.0);
+  if (out.communities == 0) out.communities = 1;
+  if (out.run_length == 0) out.run_length = 1;
   return out;
 }
 
@@ -356,6 +367,10 @@ EnvConfig env_config() {
   if (const char* s = std::getenv("DC_BENCH_TRACE"); s != nullptr && *s) {
     cfg.trace_path = s;
   }
+  cfg.zipf_theta = env_double("DC_BENCH_ZIPF_THETA", 0.99);
+  cfg.window_fraction = env_double("DC_BENCH_WINDOW", 0.25);
+  cfg.communities = static_cast<unsigned>(env_u64("DC_BENCH_COMMUNITIES", 16));
+  cfg.run_length = static_cast<unsigned>(env_u64("DC_BENCH_RUNLEN", 64));
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   for (const std::string& item : env_list("DC_BENCH_THREADS")) {

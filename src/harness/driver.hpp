@@ -31,6 +31,11 @@ namespace condyn::harness {
 //   DC_BENCH_READS     comma list of read percentages         (default
 //                      "80,99"; read-mix scenarios only)
 //   DC_BENCH_TRACE     recorded trace path (trace-replay scenario)
+//   DC_BENCH_ZIPF_THETA   Zipf skew of the zipfian scenario   (default 0.99)
+//   DC_BENCH_WINDOW       sliding-window live fraction of the stripe
+//                         (default 0.25)
+//   DC_BENCH_COMMUNITIES  community count, component-local    (default 16)
+//   DC_BENCH_RUNLEN       ops per community before hopping    (default 64)
 
 /// Validate a RunConfig before a driver runs it: rejects threads == 0,
 /// measure_ms <= 0 and warmup_ms < 0 with std::invalid_argument; returns a
@@ -45,6 +50,7 @@ struct RunResult {
   double elapsed_ms = 0;
   op_stats::Counters op_counters;       ///< summed over worker threads
   lock_stats::Counters lock_counters;   ///< summed over worker threads
+  pool_stats::Counters mem_counters;    ///< summed over worker threads
   // Batched scenarios only: per-apply_batch latency over all workers.
   uint64_t batches = 0;
   double batch_latency_us_avg = 0;
@@ -92,6 +98,11 @@ struct EnvConfig {
   std::vector<int> read_percents;
   /// Recorded trace path from DC_BENCH_TRACE (trace-replay scenario).
   std::string trace_path;
+  /// Generator knobs (see RunConfig for semantics and defaults).
+  double zipf_theta;
+  double window_fraction;
+  unsigned communities;
+  unsigned run_length;
 };
 
 EnvConfig env_config();

@@ -134,7 +134,8 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
         "operations (contention regime)",
         zipf_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
           return std::make_unique<ZipfianOpStream>(g, cfg.read_percent,
-                                                   cfg.seed, t);
+                                                   cfg.seed, t,
+                                                   cfg.zipf_theta);
         });
 
   ScenarioCaps slide_caps;
@@ -145,7 +146,7 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
         slide_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
           return std::make_unique<SlidingWindowStream>(
               stripe(g.edges(), t, cfg.threads), cfg.read_percent,
-              thread_seed(cfg, t));
+              thread_seed(cfg, t), cfg.window_fraction);
         });
 
   ScenarioCaps local_caps = random_caps;
@@ -154,8 +155,8 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
         "(exercises fine/full per-component locality)",
         local_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
           return std::make_unique<ComponentLocalStream>(
-              g, cfg.read_percent, ComponentLocalStream::kDefaultCommunities,
-              cfg.seed, t);
+              g, cfg.read_percent, cfg.communities, cfg.seed, t,
+              cfg.run_length);
         });
 
   ScenarioCaps trace_caps;
@@ -205,6 +206,7 @@ io::Trace record_trace(const ScenarioInfo& s, const Graph& g,
   io::Trace t;
   t.num_vertices = g.num_vertices();
   t.ops = prefill_ops(s.caps.prefill, g, one.seed);
+  t.ops.reserve(t.ops.size() + max_ops);  // one allocation, not log2 regrows
   const std::unique_ptr<OpStream> stream = s.make_stream(g, one, 0);
   Op op;
   for (std::size_t i = 0; i < max_ops && stream->next(op); ++i)

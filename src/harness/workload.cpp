@@ -29,9 +29,12 @@ double zeta(uint64_t n, double theta) {
 }  // namespace
 
 ZipfianOpStream::ZipfianOpStream(const Graph& g, int read_percent,
-                                 uint64_t base_seed, unsigned thread)
+                                 uint64_t base_seed, unsigned thread,
+                                 double theta)
     : edges_(&g.edges()),
       m_(std::max<uint64_t>(1, g.num_edges())),
+      // theta = 1 divides by zero in alpha_; clamp to a sane open interval.
+      theta_(std::clamp(theta, 0.01, 0.999)),
       read_percent_(clamp_pct(read_percent)),
       rng_(mix64(base_seed ^ (0x21b5ull + thread))) {
   // Popularity permutation shared by every thread of a run: derived from the
@@ -40,10 +43,10 @@ ZipfianOpStream::ZipfianOpStream(const Graph& g, int read_percent,
   while (std::gcd(step_, m_) != 1) step_ += 2;
   step_ %= m_;  // 0 only when m_ == 1, where every rank maps to index 0
   offset_ = mix64(base_seed ^ 0x0ff5ull) % m_;
-  zetan_ = zeta(m_, kTheta);
-  alpha_ = 1.0 / (1.0 - kTheta);
-  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(m_), 1.0 - kTheta)) /
-         (1.0 - zeta(2, kTheta) / zetan_);
+  zetan_ = zeta(m_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(m_), 1.0 - theta_)) /
+         (1.0 - zeta(2, theta_) / zetan_);
 }
 
 uint64_t ZipfianOpStream::zipf_rank() noexcept {
@@ -51,7 +54,7 @@ uint64_t ZipfianOpStream::zipf_rank() noexcept {
   const double u = rng_.next_double();
   const double uz = u * zetan_;
   if (uz < 1.0) return 0;
-  if (uz < 1.0 + std::pow(0.5, kTheta)) return 1;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
   const auto r = static_cast<uint64_t>(
       static_cast<double>(m_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
   return r >= m_ ? m_ - 1 : r;
@@ -69,9 +72,13 @@ bool ZipfianOpStream::next(Op& op) {
 }
 
 SlidingWindowStream::SlidingWindowStream(std::vector<Edge> stripe,
-                                         int read_percent, uint64_t seed)
+                                         int read_percent, uint64_t seed,
+                                         double window_fraction)
     : edges_(std::move(stripe)),
-      window_(std::max<std::size_t>(1, edges_.size() / 4)),
+      window_(std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<double>(edges_.size()) *
+                 std::clamp(window_fraction, 0.01, 1.0)))),
       read_percent_(clamp_pct(read_percent)),
       rng_(seed) {}
 
@@ -107,8 +114,10 @@ bool SlidingWindowStream::next(Op& op) {
 
 ComponentLocalStream::ComponentLocalStream(const Graph& g, int read_percent,
                                            unsigned communities,
-                                           uint64_t base_seed, unsigned thread)
+                                           uint64_t base_seed, unsigned thread,
+                                           unsigned run_length)
     : edges_(&g.edges()),
+      run_length_(std::max(1u, run_length)),
       read_percent_(clamp_pct(read_percent)),
       rng_(mix64(base_seed ^ (0xc0a1ull + thread))) {
   if (communities == 0) communities = 1;
@@ -130,7 +139,7 @@ bool ComponentLocalStream::next(Op& op) {
   if (buckets_.empty()) return false;
   if (run_left_ == 0) {
     current_ = rng_.next_below(buckets_.size());
-    run_left_ = kRunLength;
+    run_left_ = run_length_;
   }
   --run_left_;
   const std::vector<uint32_t>& bucket = buckets_[current_];

@@ -25,6 +25,13 @@ struct RunConfig {
   int measure_ms = 300;
   std::size_t batch_size = 64;  ///< batch scenarios only
   std::string trace_path;       ///< trace-replay scenario only (DC_BENCH_TRACE)
+  // Generator knobs, exposed so skew/locality can be swept without
+  // recompiling (DC_BENCH_ZIPF_THETA / WINDOW / COMMUNITIES / RUNLEN);
+  // validated() clamps them to sane ranges.
+  double zipf_theta = 0.99;      ///< zipfian scenario skew, in (0, 1)
+  double window_fraction = 0.25; ///< sliding-window live share of the stripe
+  unsigned communities = 16;     ///< component-local community count
+  unsigned run_length = 64;      ///< component-local ops before hopping
   /// Set by run_scenario for needs_trace scenarios: the trace loaded once
   /// for validation, shared with every worker's stream factory so a run
   /// doesn't re-read the file per thread. Leave unset to load trace_path.
@@ -133,8 +140,9 @@ class ZipfianOpStream final : public OpStream {
  public:
   static constexpr double kTheta = 0.99;  // YCSB default skew
 
+  /// `theta` in (0, 1): higher = more skew (RunConfig::zipf_theta).
   ZipfianOpStream(const Graph& g, int read_percent, uint64_t base_seed,
-                  unsigned thread);
+                  unsigned thread, double theta = kTheta);
 
   bool next(Op& op) override;
 
@@ -150,7 +158,7 @@ class ZipfianOpStream final : public OpStream {
   uint64_t m_;
   uint64_t step_;    // coprime with m_: rank -> index is a bijection
   uint64_t offset_;
-  double zetan_, eta_, alpha_;
+  double theta_, zetan_, eta_, alpha_;
   int read_percent_;
   Xoshiro256 rng_;
 };
@@ -161,8 +169,10 @@ class ZipfianOpStream final : public OpStream {
 /// current window. The live edge count stays pinned near the window size.
 class SlidingWindowStream final : public OpStream {
  public:
+  /// `window_fraction` in (0, 1]: live-window share of the stripe
+  /// (RunConfig::window_fraction).
   SlidingWindowStream(std::vector<Edge> stripe, int read_percent,
-                      uint64_t seed);
+                      uint64_t seed, double window_fraction = 0.25);
 
   bool next(Op& op) override;
 
@@ -188,10 +198,11 @@ class SlidingWindowStream final : public OpStream {
 class ComponentLocalStream final : public OpStream {
  public:
   static constexpr unsigned kDefaultCommunities = 16;
-  static constexpr unsigned kRunLength = 64;  // ops before hopping
+  static constexpr unsigned kRunLength = 64;  // default ops before hopping
 
   ComponentLocalStream(const Graph& g, int read_percent, unsigned communities,
-                       uint64_t base_seed, unsigned thread);
+                       uint64_t base_seed, unsigned thread,
+                       unsigned run_length = kRunLength);
 
   bool next(Op& op) override;
 
@@ -201,6 +212,7 @@ class ComponentLocalStream final : public OpStream {
   const std::vector<Edge>* edges_;
   std::vector<std::vector<uint32_t>> buckets_;  // edge indices per community
   std::size_t current_ = 0;
+  unsigned run_length_;
   unsigned run_left_ = 0;
   int read_percent_;
   Xoshiro256 rng_;

@@ -1,0 +1,240 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "util/cacheline.hpp"
+#include "util/ebr.hpp"
+#include "util/pool_stats.hpp"
+#include "util/spinlock.hpp"
+
+namespace condyn {
+
+/// Per-thread, cacheline-aware object pool with EBR-driven recycling
+/// (DESIGN.md §7.1).
+///
+/// The hot paths of every variant allocate small fixed-size objects at op
+/// rate: ETT arc nodes on each spanning insert, multiset cells on each
+/// non-spanning insert, removal descriptors and proposal cells on each
+/// spanning remove. The seed paid the general-purpose allocator for each of
+/// them and retired them one `delete` at a time through EBR. This pool turns
+/// that traffic into pointer pushes:
+///
+///  * allocation pops the calling thread's free list; a miss bumps the
+///    thread's current slab (kSlabObjects objects per allocator call); only
+///    an empty slab reaches `operator new`;
+///  * `retire(p)` routes destruction through the EBR grace period exactly
+///    like `ebr::retire`, but the reclamation callback *recycles* the cell
+///    onto the reclaiming thread's free list instead of freeing it;
+///  * `destroy(p)` recycles immediately (for objects no concurrent reader
+///    can hold: creation-race losers, teardown of quiescent structures);
+///  * free lists overflowing kLocalCap spill half to a shared list, which
+///    allocation-heavy threads drain before touching a fresh slab — so
+///    producer/consumer thread imbalance cannot grow memory unboundedly.
+///
+/// Slabs live until process exit (the pool instance is a leaky singleton):
+/// recycled objects may be owned by any structure on any thread, so slab
+/// lifetime cannot be tied to any structure or thread. Resident bytes are
+/// tracked in pool_stats::resident_bytes().
+///
+/// `Align` selects the object stride: ett::Node uses kCacheLine so hot
+/// treap nodes never false-share; the small cells keep natural alignment
+/// (a 16-byte cell per cache line would quadruple the footprint for no
+/// contention win — cells are written once and scanned).
+///
+/// With DC_POOL=0 every create() is a plain counted `new` and every recycle
+/// a counted `delete` — the allocation behaviour of the seed, used as the
+/// baseline of bench_suite's `memory` section.
+template <typename T, std::size_t Align = alignof(T)>
+class NodePool {
+ public:
+  static constexpr std::size_t kSlabObjects = 256;
+  static constexpr std::size_t kLocalCap = 128;
+
+  /// Object stride: big objects get whole cache lines (no false sharing),
+  /// small ones pack at their natural alignment.
+  static constexpr std::size_t stride() noexcept {
+    constexpr std::size_t base = sizeof(T) > Align ? sizeof(T) : Align;
+    return (base + Align - 1) / Align * Align;
+  }
+
+  static NodePool& instance() {
+    // Leaky singleton: recycled objects and retire callbacks may outlive any
+    // deterministic destruction point (EBR drains at static teardown), so
+    // the pool is never destroyed. Slabs stay reachable via the instance —
+    // LeakSanitizer sees no leak; the OS reclaims at exit.
+    static NodePool* p = new NodePool();
+    return *p;
+  }
+
+  template <typename... Args>
+  T* create(Args&&... args) {
+    auto& st = pool_stats::local();
+    if (!pool_stats::pooling_enabled()) {
+      ++st.allocator_calls;
+      st.bytes_allocated += sizeof(T);
+      return new T(std::forward<Args>(args)...);
+    }
+    void* raw = pop_local();
+    if (raw != nullptr) {
+      ++st.pool_reused;
+    } else {
+      raw = carve(st);
+      ++st.pool_fresh;
+    }
+    return ::new (raw) T(std::forward<Args>(args)...);
+  }
+
+  /// Destroy and recycle immediately. Only safe when no concurrent reader
+  /// can still hold `p` (creation-race losers, quiescent teardown).
+  void destroy(T* p) {
+    if (p == nullptr) return;
+    auto& st = pool_stats::local();
+    if (!pool_stats::pooling_enabled()) {
+      ++st.allocator_frees;
+      delete p;
+      return;
+    }
+    p->~T();
+    push_local(p);
+    ++st.pool_recycled;
+  }
+
+  /// Retire through the EBR grace period (instead of ebr::retire + delete):
+  /// after two epoch advances the object is destroyed and its cell returns
+  /// to the free list of whichever thread flushes the bucket.
+  void retire(T* p) {
+    ebr::Domain::global().retire(
+        static_cast<void*>(p),
+        [](void* q) { NodePool::instance().destroy(static_cast<T*>(q)); });
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static_assert(stride() >= sizeof(FreeNode),
+                "object storage must hold a free-list link");
+
+  /// Per-thread cache. On thread exit the remaining cells spill to the
+  /// shared list so objects recycled by short-lived threads stay usable.
+  struct Local {
+    NodePool* owner = nullptr;
+    FreeNode* head = nullptr;
+    std::size_t count = 0;
+    std::byte* slab_cur = nullptr;
+    std::byte* slab_end = nullptr;
+
+    ~Local() {
+      if (owner != nullptr && head != nullptr) {
+        owner->spill_all(*this);
+      }
+      // The partially-carved slab tail is abandoned (its slab stays
+      // registered in slabs_ and resident); at most stride()*kSlabObjects
+      // bytes per exiting thread.
+    }
+  };
+
+  Local& local() {
+    static thread_local Local st;
+    if (st.owner == nullptr) st.owner = this;
+    return st;
+  }
+
+  void* pop_local() {
+    Local& st = local();
+    if (st.head == nullptr && !refill_from_shared(st)) return nullptr;
+    FreeNode* n = st.head;
+    st.head = n->next;
+    --st.count;
+    return n;
+  }
+
+  void push_local(void* raw) {
+    Local& st = local();
+    auto* n = static_cast<FreeNode*>(raw);
+    n->next = st.head;
+    st.head = n;
+    if (++st.count >= kLocalCap) spill_half(st);
+  }
+
+  void* carve(pool_stats::Counters& st_counters) {
+    Local& st = local();
+    if (st.slab_cur == st.slab_end) {
+      const std::size_t bytes = stride() * kSlabObjects;
+      st.slab_cur = static_cast<std::byte*>(
+          ::operator new(bytes, std::align_val_t{slab_align()}));
+      st.slab_end = st.slab_cur + bytes;
+      ++st_counters.allocator_calls;
+      st_counters.bytes_allocated += bytes;
+      pool_stats::add_resident(static_cast<int64_t>(bytes));
+      std::lock_guard<SpinLock> lk(slabs_mu_);
+      slabs_.push_back(st.slab_cur);
+    }
+    void* raw = st.slab_cur;
+    st.slab_cur += stride();
+    return raw;
+  }
+
+  bool refill_from_shared(Local& st) {
+    std::lock_guard<SpinLock> lk(shared_mu_);
+    if (shared_head_ == nullptr) return false;
+    // Take up to half the local cap in one go.
+    std::size_t n = 0;
+    FreeNode* tail = shared_head_;
+    while (tail->next != nullptr && n + 1 < kLocalCap / 2) {
+      tail = tail->next;
+      ++n;
+    }
+    st.head = shared_head_;
+    shared_head_ = tail->next;
+    tail->next = nullptr;
+    st.count = n + 1;
+    shared_count_ -= st.count;
+    return true;
+  }
+
+  void spill_half(Local& st) {
+    FreeNode* keep = st.head;
+    for (std::size_t i = 1; i < kLocalCap / 2; ++i) keep = keep->next;
+    FreeNode* spill = keep->next;
+    keep->next = nullptr;
+    const std::size_t spilled = st.count - kLocalCap / 2;
+    st.count = kLocalCap / 2;
+    FreeNode* tail = spill;
+    while (tail->next != nullptr) tail = tail->next;
+    std::lock_guard<SpinLock> lk(shared_mu_);
+    tail->next = shared_head_;
+    shared_head_ = spill;
+    shared_count_ += spilled;
+  }
+
+  void spill_all(Local& st) {
+    FreeNode* tail = st.head;
+    while (tail->next != nullptr) tail = tail->next;
+    std::lock_guard<SpinLock> lk(shared_mu_);
+    tail->next = shared_head_;
+    shared_head_ = st.head;
+    shared_count_ += st.count;
+    st.head = nullptr;
+    st.count = 0;
+  }
+
+  static constexpr std::size_t slab_align() noexcept {
+    return Align > kCacheLine ? Align : kCacheLine;
+  }
+
+  SpinLock shared_mu_;
+  FreeNode* shared_head_ = nullptr;
+  std::size_t shared_count_ = 0;
+
+  SpinLock slabs_mu_;
+  std::vector<std::byte*> slabs_;  // registry: keeps slabs LSan-reachable
+};
+
+}  // namespace condyn

@@ -1,0 +1,34 @@
+#include "util/pool_stats.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace condyn::pool_stats {
+
+namespace {
+thread_local Counters t_counters;
+std::atomic<int64_t> g_resident{0};
+}  // namespace
+
+Counters& local() noexcept { return t_counters; }
+
+void reset_local() noexcept { t_counters = Counters{}; }
+
+uint64_t resident_bytes() noexcept {
+  const int64_t r = g_resident.load(std::memory_order_relaxed);
+  return r > 0 ? static_cast<uint64_t>(r) : 0;
+}
+
+void add_resident(int64_t delta) noexcept {
+  g_resident.fetch_add(delta, std::memory_order_relaxed);
+}
+
+bool pooling_enabled() noexcept {
+  static const bool enabled = [] {
+    const char* s = std::getenv("DC_POOL");
+    return s == nullptr || *s == '\0' || (s[0] != '0' || s[1] != '\0');
+  }();
+  return enabled;
+}
+
+}  // namespace condyn::pool_stats

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+namespace condyn::pool_stats {
+
+/// Thread-local memory-subsystem statistics, the allocation-side companion of
+/// op_stats::Counters (core/stats.hpp): the harness resets/collects both at
+/// the same points, and bench_suite's `memory` section reports them as
+/// allocations/op and bytes resident (DESIGN.md §7).
+///
+/// "Allocator calls" count every round trip to the general-purpose allocator
+/// on behalf of the concurrent structures: node-pool slab refills (or every
+/// object, when pooling is disabled), flat-map table segments, and flat-set
+/// spill arrays. Pool hits/recycles never touch the allocator — that gap is
+/// exactly what the pooled-vs-passthrough comparison measures.
+struct Counters {
+  uint64_t pool_fresh = 0;       ///< objects carved from a slab bump pointer
+  uint64_t pool_reused = 0;      ///< objects served from a recycle free list
+  uint64_t pool_recycled = 0;    ///< objects returned to a free list
+  uint64_t allocator_calls = 0;  ///< operator new reaching the allocator
+  uint64_t allocator_frees = 0;  ///< operator delete reaching the allocator
+  uint64_t bytes_allocated = 0;  ///< bytes requested from the allocator
+
+  Counters& operator+=(const Counters& o) noexcept {
+    pool_fresh += o.pool_fresh;
+    pool_reused += o.pool_reused;
+    pool_recycled += o.pool_recycled;
+    allocator_calls += o.allocator_calls;
+    allocator_frees += o.allocator_frees;
+    bytes_allocated += o.bytes_allocated;
+    return *this;
+  }
+};
+
+Counters& local() noexcept;
+void reset_local() noexcept;
+
+/// Process-wide bytes currently held by pool slabs and map/set segments
+/// (high-water resident footprint of the memory subsystem; slabs are never
+/// returned mid-run, so this only grows until structures are destroyed).
+uint64_t resident_bytes() noexcept;
+void add_resident(int64_t delta) noexcept;
+
+/// Pooling can be disabled for baseline measurements (every allocation then
+/// goes straight to new/delete and is counted as an allocator call) by
+/// setting DC_POOL=0 in the environment. Read once on first use.
+bool pooling_enabled() noexcept;
+
+}  // namespace condyn::pool_stats

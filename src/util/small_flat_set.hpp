@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "util/pool_stats.hpp"
+
+namespace condyn {
+
+/// Small-inline-capacity flat set of trivially-copyable values.
+///
+/// Replaces `std::unordered_set<Vertex>` in the locked HDT engine's
+/// adjacency records (DESIGN.md §7.2): per-(vertex, level) non-spanning
+/// degree is tiny almost always, so membership is a linear scan over a
+/// contiguous array — no hashing, no per-element nodes, no allocation until
+/// the inline capacity (one cache line of payload together with the header)
+/// overflows. Unordered storage, erase by swap-with-last.
+///
+/// Not thread-safe; callers synchronize exactly as they did for the
+/// unordered_set it replaces (the engine mutates adjacency only under the
+/// component/global locks).
+template <typename T, std::size_t InlineCap = 6>
+class SmallFlatSet {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SmallFlatSet() noexcept = default;
+  SmallFlatSet(const SmallFlatSet&) = delete;
+  SmallFlatSet& operator=(const SmallFlatSet&) = delete;
+
+  ~SmallFlatSet() {
+    if (heap_ != nullptr) {
+      auto& st = pool_stats::local();
+      ++st.allocator_frees;
+      delete[] heap_;
+    }
+  }
+
+  /// Insert v; false if already present.
+  bool insert(T v) {
+    if (contains(v)) return false;
+    if (size_ == cap_) grow();
+    data()[size_++] = v;
+    return true;
+  }
+
+  /// Erase one copy of v (swap-with-last); false if absent.
+  bool erase(T v) {
+    T* d = data();
+    for (uint32_t i = 0; i < size_; ++i) {
+      if (d[i] == v) {
+        d[i] = d[--size_];
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool contains(T v) const noexcept {
+    const T* d = data();
+    for (uint32_t i = 0; i < size_; ++i) {
+      if (d[i] == v) return true;
+    }
+    return false;
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return cap_; }
+
+  /// Any element (callers pick a candidate and erase it).
+  T front() const noexcept { return data()[0]; }
+
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size_; }
+
+ private:
+  T* data() noexcept { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const noexcept {
+    return heap_ != nullptr ? heap_ : inline_;
+  }
+
+  void grow() {
+    const uint32_t ncap = cap_ * 2;
+    T* fresh = new T[ncap];
+    auto& st = pool_stats::local();
+    ++st.allocator_calls;
+    st.bytes_allocated += ncap * sizeof(T);
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    if (heap_ != nullptr) {
+      ++st.allocator_frees;
+      delete[] heap_;
+    }
+    heap_ = fresh;
+    cap_ = ncap;
+  }
+
+  uint32_t size_ = 0;
+  uint32_t cap_ = InlineCap;
+  T* heap_ = nullptr;
+  T inline_[InlineCap];
+};
+
+}  // namespace condyn

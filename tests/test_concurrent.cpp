@@ -14,6 +14,7 @@
 #include "core/ett.hpp"
 #include "core/nb_hdt.hpp"
 #include "graph/cc.hpp"
+#include "harness/workload.hpp"
 #include "util/random.hpp"
 
 namespace condyn {
@@ -329,6 +330,68 @@ INSTANTIATE_TEST_SUITE_P(Modes, NbStress,
                                return "elision";
                            }
                          });
+
+// ---------------------------------------------------------------------------
+// Relaxed-ordering oracle, pinned to the zipfian stream: the memory-order
+// audit downgraded the parent/version hot path to acquire/release
+// (DESIGN.md §7.3). The zipfian mix hammers a hot edge set — the regime in
+// which a too-weak ordering would let a stale version/parent snapshot
+// linearize a wrong answer or corrupt the structure. Quiescent oracle as in
+// MixedChurnEndsConsistent, driven by the real generator.
+// ---------------------------------------------------------------------------
+
+TEST(NbConcurrent, ZipfianChurnMatchesOracle) {
+  const Vertex n = 48;
+  std::vector<Edge> edges;
+  Xoshiro256 gen(5);
+  for (Vertex v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  for (int i = 0; i < 80; ++i) {
+    const Vertex a = static_cast<Vertex>(gen.next_below(n));
+    Vertex b = static_cast<Vertex>(gen.next_below(n));
+    if (a == b) b = (b + 1) % n;
+    edges.emplace_back(a, b);
+  }
+  const Graph g(n, std::move(edges));
+
+  NbHdt dc(n, NbLockMode::kFine);
+  const unsigned kThreads = 4;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // 40% reads, heavy update share on the Zipf-hot edges; all threads
+      // share the popularity permutation (base seed), so they collide on
+      // the same hot set by construction.
+      harness::ZipfianOpStream stream(g, 40, /*base_seed=*/21, t);
+      Op op;
+      for (int i = 0; i < 30000; ++i) {
+        ASSERT_TRUE(stream.next(op));
+        switch (op.kind) {
+          case OpKind::kAdd:
+            dc.add_edge(op.u, op.v);
+            break;
+          case OpKind::kRemove:
+            dc.remove_edge(op.u, op.v);
+            break;
+          case OpKind::kConnected:
+            dc.connected(op.u, op.v);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  dc.check_invariants();
+  std::vector<Edge> present;
+  for (Vertex a = 0; a < n; ++a)
+    for (Vertex b = a + 1; b < n; ++b)
+      if (dc.has_edge(a, b)) present.emplace_back(a, b);
+  const ComponentInfo cc = connected_components(n, present);
+  for (Vertex a = 0; a < n; ++a)
+    for (Vertex b = a + 1; b < n; ++b)
+      ASSERT_EQ(dc.connected(a, b), cc.label[a] == cc.label[b])
+          << a << "-" << b;
+}
 
 // ---------------------------------------------------------------------------
 // Fine-grained parallelism: writers on disjoint components proceed together

@@ -1,5 +1,6 @@
-// Sharded map tests: record stability (the property every lock-free CAS in
-// the repo depends on), concurrent get_or_create races, iteration.
+// Sharded flat map tests: record stability (the property every lock-free
+// CAS in the repo depends on — now across growth segments), tombstone
+// reuse, concurrent get_or_create races, iteration.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -48,6 +49,98 @@ TEST(ShardedEdgeMap, CanonicalKeys) {
   ShardedEdgeMap<int> m;
   *m.get_or_create(Edge(3, 9)) = 5;
   EXPECT_EQ(*m.find(Edge(9, 3)), 5);
+}
+
+TEST(ShardedU64Map, GrowthNeverMovesRecords) {
+  // Start tiny (expected 0 keys, 1 shard) and insert far past the initial
+  // segment: every growth appends a segment instead of rehashing, so
+  // pointers handed out before any growth stay valid and findable.
+  ShardedU64Map<uint64_t> m(0, 1);
+  constexpr uint64_t kKeys = 5000;
+  std::vector<uint64_t*> recs(kKeys);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    recs[k] = m.get_or_create(k);
+    *recs[k] = k ^ 0xabcdull;
+  }
+  EXPECT_GT(m.segments(), 1u) << "test must actually exercise growth";
+  EXPECT_EQ(m.size(), kKeys);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(m.find(k), recs[k]) << "record moved for key " << k;
+    EXPECT_EQ(*recs[k], k ^ 0xabcdull);
+    EXPECT_EQ(m.get_or_create(k), recs[k]);
+  }
+}
+
+TEST(ShardedU64Map, TombstoneReuseBoundsCapacity) {
+  // The arc maps churn like this: the same edge keys get erased on cut and
+  // re-created on link, over and over. A re-created key's probe chain runs
+  // through its own tombstone, so the slot is reused in place and the table
+  // must not grow at all across rounds.
+  ShardedU64Map<int> m(256, 4);
+  for (uint64_t k = 0; k < 200; ++k) *m.get_or_create(k) = 1;
+  const std::size_t cap0 = m.capacity();
+  const std::size_t segs0 = m.segments();
+  for (int round = 0; round < 500; ++round) {
+    for (uint64_t k = 0; k < 200; ++k) m.erase(k);
+    for (uint64_t k = 0; k < 200; ++k) *m.get_or_create(k) = round;
+  }
+  EXPECT_EQ(m.size(), 200u);
+  // Chain overlap between keys can displace a handful of slots per round,
+  // but reuse must keep the table from scaling with round count (the seed's
+  // unordered_map freed and reallocated a node per cycle instead).
+  EXPECT_LE(m.capacity(), cap0 * 2)
+      << "tombstone reuse failed: same-key churn grew the table without bound";
+  EXPECT_LE(m.segments(), segs0 + 1);
+}
+
+TEST(ShardedU64Map, EraseThenRecreateIsFresh) {
+  ShardedU64Map<int> m;
+  int* a = m.get_or_create(7);
+  *a = 123;
+  m.erase(7);
+  EXPECT_EQ(m.find(7), nullptr);
+  int* b = m.get_or_create(7);
+  EXPECT_EQ(*b, 0) << "reused slot must hold a freshly-constructed record";
+}
+
+TEST(ShardedU64Map, SizedConstructionAvoidsGrowth) {
+  ShardedU64Map<uint64_t> m(10000);
+  for (uint64_t k = 0; k < 10000; ++k) *m.get_or_create(k) = k;
+  // Segments materialize lazily (at most one per touched shard); a map
+  // sized from expected_keys must never need a *growth* segment on top.
+  EXPECT_LE(m.segments(), 64u)
+      << "a map sized from expected_keys should never grow";
+  EXPECT_EQ(m.size(), 10000u);
+}
+
+TEST(ShardedU64MapStress, ConcurrentChurnAgainstStableReaders) {
+  // Writers churn disjoint key ranges through insert/erase cycles while
+  // other threads hammer a stable shared range through pointers captured
+  // once — shard locking plus stable addresses must keep both safe.
+  ShardedU64Map<std::atomic<int>> m(64, 8);
+  constexpr uint64_t kStable = 64;
+  std::vector<std::atomic<int>*> stable;
+  for (uint64_t k = 0; k < kStable; ++k)
+    stable.push_back(m.get_or_create(1000000 + k));
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 4000; ++i) {
+        const uint64_t k = static_cast<uint64_t>(t) * 100000 + i % 512;
+        m.get_or_create(k)->fetch_add(1, std::memory_order_relaxed);
+        if (i % 3 == 0) m.erase(k);
+        stable[i % kStable]->fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (uint64_t k = 0; k < kStable; ++k) {
+    EXPECT_EQ(m.find(1000000 + k), stable[k]);
+  }
+  int total = 0;
+  for (auto* rec : stable) total += rec->load();
+  EXPECT_EQ(total, kThreads * 4000);
 }
 
 TEST(ShardedU64MapStress, ConcurrentGetOrCreateConverges) {

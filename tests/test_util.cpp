@@ -14,11 +14,58 @@
 #include "util/lock_stats.hpp"
 #include "util/random.hpp"
 #include "util/rw_lock.hpp"
+#include "util/small_flat_set.hpp"
 #include "util/spinlock.hpp"
 #include "util/thread_index.hpp"
 
 namespace condyn {
 namespace {
+
+// --------------------------------------------------------------------------
+// SmallFlatSet (the AdjSet representation of the locked engine)
+// --------------------------------------------------------------------------
+
+TEST(SmallFlatSet, InsertEraseContains) {
+  SmallFlatSet<uint32_t> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5)) << "duplicate insert must be rejected";
+  EXPECT_TRUE(s.insert(9));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(7));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.erase(5));
+  EXPECT_FALSE(s.erase(5));
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.front(), 9u);
+}
+
+TEST(SmallFlatSet, GrowsPastInlineCapacity) {
+  SmallFlatSet<uint32_t, 4> s;
+  for (uint32_t v = 0; v < 100; ++v) EXPECT_TRUE(s.insert(v));
+  EXPECT_EQ(s.size(), 100u);
+  for (uint32_t v = 0; v < 100; ++v) EXPECT_TRUE(s.contains(v));
+  std::set<uint32_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 100u);
+  for (uint32_t v = 0; v < 100; v += 2) EXPECT_TRUE(s.erase(v));
+  EXPECT_EQ(s.size(), 50u);
+  for (uint32_t v = 1; v < 100; v += 2) EXPECT_TRUE(s.contains(v));
+}
+
+TEST(SmallFlatSet, FrontAndDrainLikeTheEngine) {
+  // The replacement search drains a set via front()+erase() — the loop must
+  // terminate and visit every element exactly once.
+  SmallFlatSet<uint32_t> s;
+  for (uint32_t v = 10; v < 30; ++v) s.insert(v);
+  std::set<uint32_t> drained;
+  while (!s.empty()) {
+    const uint32_t v = s.front();
+    EXPECT_TRUE(drained.insert(v).second);
+    EXPECT_TRUE(s.erase(v));
+  }
+  EXPECT_EQ(drained.size(), 20u);
+}
 
 // --------------------------------------------------------------------------
 // Random
