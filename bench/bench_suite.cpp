@@ -98,6 +98,14 @@ void add_sweep_record(JsonReport& json, const ScenarioInfo& s, const Graph& g,
       .field("batches", r.batches)
       .field("batch_latency_us_avg", r.batch_latency_us_avg)
       .field("batch_latency_us_max", r.batch_latency_us_max)
+      // Per-op latency percentiles (tracks_latency scenarios, e.g.
+      // trace-replay-dep); all zero for scenarios that don't track.
+      .field("latency_samples", r.latency_samples)
+      .field("latency_us_avg", r.latency_us_avg)
+      .field("latency_us_p50", r.latency_us_p50)
+      .field("latency_us_p90", r.latency_us_p90)
+      .field("latency_us_p99", r.latency_us_p99)
+      .field("latency_us_max", r.latency_us_max)
       .field("reads", r.op_counters.reads)
       .field("read_retries", r.op_counters.read_retries)
       .field("additions", r.op_counters.additions)
@@ -384,6 +392,36 @@ void memory_section(const EnvConfig& env, JsonReport& json) {
   table.print();
 }
 
+/// The cross-machine calibration record (scripts/bench_diff.py): one fixed
+/// single-thread coarse run on a fixed graph with fixed windows, deliberately
+/// independent of every DC_BENCH_* knob, emitted into every artifact. Two
+/// artifacts' sweep throughputs become comparable across machines by scaling
+/// with the ratio of their calibration ops_per_ms (ROADMAP: "teach bench_diff
+/// to normalize against a calibration record").
+void calibration_record(JsonReport& json) {
+  Graph g = gen::erdos_renyi(4096, 16384, /*seed=*/7);
+  g.name = "calibration-er-4096";
+  RunConfig cfg;
+  cfg.threads = 1;
+  cfg.read_percent = 80;
+  cfg.seed = 7;
+  cfg.warmup_ms = 20;
+  cfg.measure_ms = 100;
+  // By name, not id: the record's label and the measured variant must never
+  // drift apart if the registry is ever reordered.
+  auto dc = make_variant("coarse", g.num_vertices());
+  const RunResult r = harness::run_random(*dc, g, cfg);
+  std::printf("# calibration (coarse, 1 thread, fixed config): %.1f ops/ms\n",
+              r.ops_per_ms);
+  json.add_record()
+      .field("section", "calibration")
+      .field("graph", g.name)
+      .field("variant", "coarse")
+      .field("threads", 1)
+      .field("ops_per_ms", r.ops_per_ms)
+      .field("total_ops", r.total_ops);
+}
+
 /// Minimal DynamicConnectivity facade over union-find: additions and
 /// queries only; removals abort (never issued by the incremental driver).
 class DsuDc final : public DynamicConnectivity {
@@ -517,6 +555,10 @@ int main(int argc, char** argv) {
   json.meta("measure_ms", static_cast<uint64_t>(env.measure_ms));
   json.meta("warmup_ms", static_cast<uint64_t>(env.warmup_ms));
   json.meta("full", static_cast<uint64_t>(env.full ? 1 : 0));
+
+  // Unconditional (not a DC_BENCH_SECTIONS member): every artifact must be
+  // normalizable by bench_diff, whatever sections it was run with.
+  calibration_record(json);
 
   for (const std::string& section :
        harness::env_list("DC_BENCH_SECTIONS",

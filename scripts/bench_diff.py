@@ -43,19 +43,29 @@ def load(path):
     return data
 
 
-def index(results, section, key_fields, value_field):
+def index(results, section, key_fields, value_field, scale=1.0):
     out = {}
     for r in results:
         if r.get("section") != section or r.get(value_field) is None:
             continue
         r = dict(r)
-        if r.get("scenario") == "trace-replay":
-            # The trace-replay "graph" is the trace file *path*, which varies
-            # between runs/machines; normalize so the data points match.
+        if str(r.get("scenario", "")).startswith("trace-replay"):
+            # The trace-replay family's "graph" is the trace file *path*,
+            # which varies between runs/machines; normalize so the data
+            # points match (covers trace-replay and trace-replay-dep).
             r["graph"] = "<trace>"
         key = tuple(r.get(k) for k in key_fields)
-        out[key] = r[value_field]
+        out[key] = r[value_field] * scale
     return out
+
+
+def calibration_ops_per_ms(data):
+    """The fixed single-thread coarse run bench_suite stamps into every
+    artifact (section == "calibration"); None for pre-calibration files."""
+    for r in data.get("results", []):
+        if r.get("section") == "calibration" and r.get("ops_per_ms"):
+            return r["ops_per_ms"]
+    return None
 
 
 def fmt_key(key_fields, key):
@@ -96,20 +106,42 @@ def main():
                          "(for cross-machine comparisons in CI)")
     ap.add_argument("--allow-missing", action="store_true",
                     help="do not fail on scenario x variant coverage loss")
+    ap.add_argument("--no-calibration", action="store_true",
+                    help="compare raw throughput without scaling by the "
+                         "calibration records (single-machine diffs)")
     args = ap.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
 
+    # Cross-machine normalization: both artifacts carry a fixed
+    # single-thread coarse calibration run; scaling the current run's
+    # throughput by base_cal/cur_cal removes the machine-speed component,
+    # so the residual deltas are (mostly) code, not hardware.
+    cal_scale = 1.0
+    b_cal, c_cal = calibration_ops_per_ms(base), calibration_ops_per_ms(cur)
+    if args.no_calibration:
+        pass
+    elif b_cal and c_cal:
+        cal_scale = b_cal / c_cal
+        print(f"calibration: baseline {b_cal:.1f} ops/ms, current "
+              f"{c_cal:.1f} ops/ms -> throughput scale {cal_scale:.3f}")
+    else:
+        print("calibration: record missing from "
+              + ("both artifacts" if not b_cal and not c_cal else
+                 args.baseline if not b_cal else args.current)
+              + "; comparing raw throughput")
+
+    # allocs_per_op is machine-independent; only throughput is scaled.
     checks = [
-        ("sweep", SWEEP_KEY, "ops_per_ms", True),
-        ("memory", MEMORY_KEY, "allocs_per_op", False),
+        ("sweep", SWEEP_KEY, "ops_per_ms", True, cal_scale),
+        ("memory", MEMORY_KEY, "allocs_per_op", False, 1.0),
     ]
     all_regressions, all_missing, all_improvements = [], [], []
     compared = 0
-    for section, key_fields, value_field, higher in checks:
+    for section, key_fields, value_field, higher, scale in checks:
         b = index(base["results"], section, key_fields, value_field)
-        c = index(cur["results"], section, key_fields, value_field)
+        c = index(cur["results"], section, key_fields, value_field, scale)
         compared += len(b)
         r, m, i = compare(section, key_fields, b, c, args.threshold, higher)
         all_regressions += r

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Local mirror of CI: configure, build, run the tier-1 test suite
-# (ROADMAP.md), then smoke-run the examples and the unified bench suite
-# across every scenario. Usage: scripts/check.sh
+# (ROADMAP.md), then smoke-run the examples, the trace_convert pipeline on
+# the checked-in SNAP sample, and the unified bench suite across every
+# scenario. CHECK_TSAN=1 additionally mirrors the CI ThreadSanitizer job
+# (concurrency suites + dependency-preserving replay under -fsanitize=thread).
+# Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,10 +17,25 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 ./build/example_batch_processor
 ./build/example_trace_replay
 
-./build/bench_suite --list > /dev/null
+# trace_convert on the checked-in sample: <= 3 bytes/op in v2, byte-stable
+# v1<->v2 recompress round trip, strict --info decode of the golden traces.
+sample_trace="$(mktemp /tmp/check-sample.XXXXXX.dctr)"
+sample_v1="$(mktemp /tmp/check-sample-v1.XXXXXX.dctr)"
+sample_rt="$(mktemp /tmp/check-sample-rt.XXXXXX.dctr)"
 trace="$(mktemp /tmp/check-trace.XXXXXX.bin)"
 json="$(mktemp /tmp/check-bench.XXXXXX.json)"
-trap 'rm -f "$trace" "$json"' EXIT
+trap 'rm -f "$sample_trace" "$sample_v1" "$sample_rt" "$trace" "$json"' EXIT
+./build/trace_convert convert data/sample_temporal.txt "$sample_trace" \
+  --dedup --window 150 --queries 5 | tee /dev/stderr |
+  awk '/bytes\/op/ { seen = 1; if ($2 + 0 > 3.0) { print "bytes/op " $2 " > 3"; exit 1 } }
+       END { if (!seen) { print "no bytes/op line in trace_convert output"; exit 1 } }'
+./build/trace_convert recompress "$sample_trace" "$sample_v1" --v1 > /dev/null
+./build/trace_convert recompress "$sample_v1" "$sample_rt" > /dev/null
+cmp "$sample_trace" "$sample_rt"
+./build/trace_convert info tests/data/golden_v1.dctr > /dev/null
+./build/trace_convert info tests/data/golden_v2.dctr > /dev/null
+
+./build/bench_suite --list > /dev/null
 DC_BENCH_SCALE=0.01 ./build/bench_suite --record random "$trace" 2000
 DC_BENCH_MILLIS=20 DC_BENCH_WARMUP=5 DC_BENCH_THREADS=1,2 \
   DC_BENCH_SCALE=0.01 DC_BENCH_READS=80 DC_BENCH_BATCH=16 \
@@ -27,14 +45,27 @@ python3 -c "
 import json, sys
 d = json.load(open('$json'))
 n = len({r['scenario'] for r in d['results'] if r['section'] == 'sweep'})
-assert n >= 9, f'expected >= 9 scenarios, got {n}'
+assert n >= 10, f'expected >= 10 scenarios, got {n}'
 assert [r for r in d['results'] if r['section'] == 'memory'], 'no memory records'
+assert [r for r in d['results'] if r['section'] == 'calibration'], 'no calibration record'
+dep = [r for r in d['results'] if r['section'] == 'sweep' and r['scenario'] == 'trace-replay-dep']
+assert dep and all(r['latency_us_p99'] > 0 for r in dep), 'dep-replay latency percentiles missing'
 print(f'bench_suite smoke: {len(d[\"results\"])} JSON records, {n} scenarios')
 "
 
 # Regression diff against the checked-in baseline: coverage loss fails,
-# throughput deltas are warn-only (machine-dependent — gate throughput by
-# diffing two runs of bench_suite on one machine instead).
+# throughput deltas are calibration-normalized but warn-only (still noisy —
+# gate throughput by diffing two runs of bench_suite on one machine instead).
 python3 scripts/bench_diff.py bench/baseline.json "$json" --warn-only
+
+# Optional mirror of the CI tsan job (slow; needs a second build tree).
+if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
+  cmake -B build-tsan -S . -DCONDYN_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs" \
+    --target test_concurrent test_nb_hdt test_scenarios test_replay_dep
+  TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
+    --output-on-failure -j 2 \
+    -R 'test_concurrent|test_nb_hdt|test_scenarios|test_replay_dep'
+fi
 
 echo "check.sh: all green"

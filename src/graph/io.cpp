@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/random.hpp"
 
 namespace condyn::io {
 
@@ -128,11 +132,63 @@ uint64_t read_u64(std::istream& in) {
   return v;
 }
 
-}  // namespace
+// --- varint / zigzag primitives of the v2 payload ---------------------------
 
-void save_trace(const Trace& t, std::ostream& out) {
+uint64_t zigzag_encode(int64_t v) noexcept {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);  // arithmetic shift: all-ones if <0
+}
+
+int64_t zigzag_decode(uint64_t z) noexcept {
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+void write_varint(std::ostream& out, uint64_t v) {
+  char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<char>((v & 0x7f) | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<char>(v);
+  out.write(buf, n);
+}
+
+/// Strict LEB128 read: EOF mid-varint and >10-byte runs both throw (a u64
+/// needs at most 10 groups of 7 bits; an 11th continuation byte means the
+/// payload is garbage, not a longer number).
+uint64_t read_varint(std::istream& in) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    char c;
+    if (!in.read(&c, 1)) fail("truncated trace (varint cut mid-op)");
+    const auto byte = static_cast<unsigned char>(c);
+    if (shift == 63 && (byte & 0x7e) != 0)
+      fail("corrupt trace: varint overflows 64 bits");
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  fail("corrupt trace: varint longer than 10 bytes");
+}
+
+/// Re-derive a vertex from the previous value plus a zigzag delta, checking
+/// that the result is a valid vertex of the declared universe. The sum is
+/// taken in uint64 — wraparound is defined there, and every out-of-range
+/// true sum (negative, or past INT64_MAX from a crafted 10-byte varint)
+/// wraps to a value >= 2^32 > num_vertices, so one range check rejects them
+/// all without signed-overflow UB.
+Vertex apply_delta(Vertex base, int64_t delta, Vertex num_vertices,
+                   const char* which) {
+  const uint64_t v = base + static_cast<uint64_t>(delta);
+  if (v >= num_vertices)
+    fail(std::string("corrupt trace: ") + which +
+         " delta lands outside [0, " + std::to_string(num_vertices) + ")");
+  return static_cast<Vertex>(v);
+}
+
+void save_trace_v1(const Trace& t, std::ostream& out) {
   out.write(kTraceMagic, 4);
-  write_u32(out, kTraceVersion);
+  write_u32(out, kTraceVersionV1);
   write_u32(out, t.num_vertices);
   write_u64(out, t.ops.size());
   for (const Op& op : t.ops) {
@@ -141,22 +197,31 @@ void save_trace(const Trace& t, std::ostream& out) {
     write_u32(out, op.u);
     write_u32(out, op.v);
   }
-  if (!out) fail("trace write failed");
 }
 
-void save_trace_file(const Trace& t, const std::string& path) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) fail("cannot write " + path);
-  save_trace(t, f);
+void save_trace_v2(const Trace& t, std::ostream& out) {
+  out.write(kTraceMagic, 4);
+  write_u32(out, kTraceVersionV2);
+  write_u32(out, kTraceFlagDeltaVarint);
+  write_u32(out, t.num_vertices);
+  write_u64(out, t.ops.size());
+  Vertex prev_u = 0;
+  for (const Op& op : t.ops) {
+    if (op.u >= t.num_vertices || op.v >= t.num_vertices)
+      fail("trace op addresses vertex >= num_vertices (" +
+           std::to_string(op.u) + "," + std::to_string(op.v) + " vs " +
+           std::to_string(t.num_vertices) + "); refusing to write an "
+           "unloadable v2 trace");
+    const uint64_t du = zigzag_encode(static_cast<int64_t>(op.u) -
+                                      static_cast<int64_t>(prev_u));
+    write_varint(out, (du << 2) | static_cast<uint64_t>(op.kind));
+    write_varint(out, zigzag_encode(static_cast<int64_t>(op.v) -
+                                    static_cast<int64_t>(op.u)));
+    prev_u = op.u;
+  }
 }
 
-Trace load_trace(std::istream& in) {
-  char magic[4];
-  if (!in.read(magic, 4) || std::memcmp(magic, kTraceMagic, 4) != 0)
-    fail("not a DCTR trace (bad magic)");
-  const uint32_t version = read_u32(in);
-  if (version != kTraceVersion)
-    fail("unsupported trace version " + std::to_string(version));
+Trace load_trace_v1(std::istream& in) {
   Trace t;
   t.num_vertices = read_u32(in);
   const uint64_t count = read_u64(in);
@@ -188,10 +253,225 @@ Trace load_trace(std::istream& in) {
   return t;
 }
 
+Trace load_trace_v2(std::istream& in) {
+  const uint32_t flags = read_u32(in);
+  if ((flags & kTraceFlagDeltaVarint) == 0)
+    fail("v2 trace missing the delta-varint payload flag");
+  if ((flags & ~kTraceFlagDeltaVarint) != 0)
+    fail("v2 trace declares unknown flags 0x" + [&] {
+      std::ostringstream os;
+      os << std::hex << (flags & ~kTraceFlagDeltaVarint);
+      return os.str();
+    }());
+  Trace t;
+  t.num_vertices = read_u32(in);
+  const uint64_t count = read_u64(in);
+  // Same corrupt-count guard as v1, with the v2 floor of 2 bytes/op.
+  uint64_t max_ops = 1 << 20;
+  const auto pos = in.tellg();
+  if (pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    in.seekg(pos);
+    if (end != std::istream::pos_type(-1) && end >= pos)
+      max_ops = static_cast<uint64_t>(end - pos) / 2;
+  }
+  t.ops.reserve(std::min(count, max_ops));
+  Vertex prev_u = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t tag = read_varint(in);
+    const auto kind = static_cast<unsigned>(tag & 3);
+    if (kind > 2) fail("corrupt trace: bad op kind 3");
+    Op op;
+    op.kind = static_cast<OpKind>(kind);
+    op.u = apply_delta(prev_u, zigzag_decode(tag >> 2), t.num_vertices, "u");
+    op.v = apply_delta(op.u, zigzag_decode(read_varint(in)), t.num_vertices,
+                       "v");
+    prev_u = op.u;
+    t.ops.push_back(op);
+  }
+  // The declared count must consume the whole payload: trailing bytes mean
+  // the header op count and the payload disagree (an op-count mismatch is
+  // as corrupt as a truncation, just on the other side).
+  if (in.peek() != std::istream::traits_type::eof())
+    fail("corrupt trace: payload continues past the declared op count");
+  return t;
+}
+
+}  // namespace
+
+void save_trace(const Trace& t, std::ostream& out, TraceFormat format) {
+  switch (format) {
+    case TraceFormat::kV1:
+      save_trace_v1(t, out);
+      break;
+    case TraceFormat::kV2:
+      save_trace_v2(t, out);
+      break;
+  }
+  if (!out) fail("trace write failed");
+}
+
+void save_trace_file(const Trace& t, const std::string& path,
+                     TraceFormat format) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) fail("cannot write " + path);
+  save_trace(t, f, format);
+}
+
+Trace load_trace(std::istream& in) {
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kTraceMagic, 4) != 0)
+    fail("not a DCTR trace (bad magic)");
+  const uint32_t version = read_u32(in);
+  if (version == kTraceVersionV1) return load_trace_v1(in);
+  if (version == kTraceVersionV2) return load_trace_v2(in);
+  fail("unsupported trace version " + std::to_string(version));
+}
+
 Trace load_trace_file(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) fail("cannot open " + path);
   return load_trace(f);
+}
+
+TraceFileInfo trace_info_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) fail("cannot open " + path);
+  TraceFileInfo info;
+  info.file_bytes = static_cast<uint64_t>(f.tellg());
+  f.seekg(0);
+  char magic[4];
+  if (!f.read(magic, 4) || std::memcmp(magic, kTraceMagic, 4) != 0)
+    fail("not a DCTR trace (bad magic)");
+  info.version = read_u32(f);
+  // The header layout differs per version; re-decode from the top through
+  // the strict loader so --info doubles as a validity check.
+  if (info.version == kTraceVersionV2) {
+    info.flags = read_u32(f);
+    info.header_bytes = 4 + 4 + 4 + 4 + 8;
+  } else if (info.version == kTraceVersionV1) {
+    info.header_bytes = 4 + 4 + 4 + 8;
+  } else {
+    fail("unsupported trace version " + std::to_string(info.version));
+  }
+  // Rewind and decode through the strict loader on the already-open stream
+  // (one open, one payload decode; --info doubles as a validity check).
+  f.seekg(0);
+  const Trace t = load_trace(f);
+  info.num_vertices = t.num_vertices;
+  info.ops = t.ops.size();
+  for (const Op& op : t.ops) {
+    switch (op.kind) {
+      case OpKind::kAdd: ++info.adds; break;
+      case OpKind::kRemove: ++info.removes; break;
+      case OpKind::kConnected: ++info.queries; break;
+    }
+  }
+  info.payload_bytes = info.file_bytes - info.header_bytes;
+  info.bytes_per_op =
+      info.ops > 0
+          ? static_cast<double>(info.payload_bytes) / static_cast<double>(info.ops)
+          : 0.0;
+  return info;
+}
+
+std::vector<TemporalEdge> load_temporal_snap(std::istream& in) {
+  std::vector<TemporalEdge> events;
+  std::string line;
+  uint64_t index = 0;
+  uint64_t timed = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t a, b, ts;
+    if (!(ls >> a >> b)) continue;
+    if (a == b) continue;  // self-loops carry no connectivity information
+    // Vertex is u32 and the universe is max_id + 1: an id that doesn't fit
+    // would silently wrap to a wrong-but-valid trace. Reject it loudly.
+    if (a >= 0xffffffffull || b >= 0xffffffffull)
+      fail("temporal edge list id " + std::to_string(std::max(a, b)) +
+           " does not fit a 32-bit vertex");
+    if (ls >> ts) {
+      ++timed;
+    } else {
+      ts = index;  // untimed lines keep file order
+    }
+    events.push_back({static_cast<Vertex>(a), static_cast<Vertex>(b), ts});
+    ++index;
+  }
+  // All-timed and all-untimed files are both fine; a mix is not. An untimed
+  // line's index-as-timestamp would stable_sort ahead of real (epoch-sized)
+  // timestamps, silently replaying that event far out of order — a
+  // truncated line in a timed file must be loud, like every other
+  // malformation the trace pipeline rejects.
+  if (timed != 0 && timed != events.size())
+    fail("temporal edge list mixes timed and untimed lines (" +
+         std::to_string(events.size() - timed) + " of " +
+         std::to_string(events.size()) + " events lack a timestamp)");
+  return events;
+}
+
+std::vector<TemporalEdge> load_temporal_snap_file(const std::string& path) {
+  auto f = open(path);
+  return load_temporal_snap(f);
+}
+
+Trace temporal_to_trace(std::vector<TemporalEdge> events,
+                        const ConvertOptions& opts) {
+  // Stable by timestamp: SNAP files are usually time-sorted already, but the
+  // contract is "replay in temporal order" regardless of file order.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TemporalEdge& a, const TemporalEdge& b) {
+                     return a.t < b.t;
+                   });
+  Trace out;
+  for (const TemporalEdge& e : events)
+    out.num_vertices = std::max(out.num_vertices, std::max(e.u, e.v) + 1);
+
+  std::set<Edge> live;
+  std::deque<Edge> fifo;  // insertion order of the live set (window expiry)
+  Xoshiro256 rng(opts.seed);
+  uint64_t updates = 0;
+
+  auto maybe_probe = [&] {
+    if (opts.query_every == 0 || updates == 0 ||
+        updates % opts.query_every != 0 || fifo.empty())
+      return;
+    // Connectivity probe between two random live edges' endpoints — the
+    // cross-component question a monitoring client would ask.
+    const Edge& a = fifo[rng.next_below(fifo.size())];
+    const Edge& b = fifo[rng.next_below(fifo.size())];
+    out.ops.push_back(Op::connected(a.u, b.v));
+  };
+
+  for (const TemporalEdge& ev : events) {
+    const Edge e(std::min(ev.u, ev.v), std::max(ev.u, ev.v));
+    if (live.count(e)) {
+      // Multi-edge in the raw stream: liveness is unchanged either way, the
+      // only question is whether the no-op add is kept in the trace.
+      if (!opts.dedup) {
+        out.ops.push_back(Op::add(ev.u, ev.v));
+        ++updates;
+        maybe_probe();
+      }
+      continue;
+    }
+    if (opts.window > 0 && live.size() >= opts.window) {
+      const Edge oldest = fifo.front();
+      fifo.pop_front();
+      live.erase(oldest);
+      out.ops.push_back(Op::remove(oldest.u, oldest.v));
+      ++updates;
+      maybe_probe();
+    }
+    live.insert(e);
+    fifo.push_back(e);
+    out.ops.push_back(Op::add(ev.u, ev.v));
+    ++updates;
+    maybe_probe();
+  }
+  return out;
 }
 
 }  // namespace condyn::io

@@ -33,12 +33,31 @@ Graph load_auto(const std::string& path);
 /// Binary operation-trace format (DESIGN.md §6.2): a recorded op stream any
 /// scenario can be frozen into (harness::record_trace) and replayed
 /// deterministically across variants for apples-to-apples comparisons.
-/// Layout, all little-endian:
+///
+/// Two wire versions, all little-endian, shared magic "DCTR":
+///
+/// v1 (fixed 9 bytes/op, the original debug format — reader kept for
+/// back-compat, writer kept for the v1<->v2 compat tests):
 ///   bytes 0..3   magic "DCTR"
-///   u32          version (currently 1)
+///   u32          version (1)
 ///   u32          num_vertices of the graph the ops address
 ///   u64          op count
 ///   then per op: u8 kind (0 add, 1 remove, 2 connected), u32 u, u32 v
+///
+/// v2 (delta + varint/zigzag compressed, ~2-3 bytes/op on temporal streams):
+///   bytes 0..3   magic "DCTR"
+///   u32          version (2)
+///   u32          flags (header-declared; kTraceFlagDeltaVarint must be set,
+///                unknown bits are rejected)
+///   u32          num_vertices
+///   u64          op count
+///   then per op, two LEB128 varints:
+///     varint A = zigzag(u - prev_u) << 2 | kind    (prev_u starts at 0)
+///     varint B = zigzag(v - u)
+/// Decoding is strict: truncated varints, varints longer than 10 bytes,
+/// kind == 3, vertices outside [0, num_vertices), and op-count mismatches
+/// (payload ending early OR trailing bytes after the declared count) all
+/// throw std::runtime_error instead of yielding a silently wrong trace.
 struct Trace {
   Vertex num_vertices = 0;
   std::vector<Op> ops;
@@ -47,13 +66,88 @@ struct Trace {
 };
 
 inline constexpr char kTraceMagic[4] = {'D', 'C', 'T', 'R'};
-inline constexpr uint32_t kTraceVersion = 1;
+inline constexpr uint32_t kTraceVersionV1 = 1;
+inline constexpr uint32_t kTraceVersionV2 = 2;
+/// The version save_trace writes by default.
+inline constexpr uint32_t kTraceVersion = kTraceVersionV2;
+/// v2 header flag: payload is the delta+varint encoding above. The only
+/// flag defined so far; writers must set it, readers reject unknown bits.
+inline constexpr uint32_t kTraceFlagDeltaVarint = 1u << 0;
 
-void save_trace(const Trace& t, std::ostream& out);
-void save_trace_file(const Trace& t, const std::string& path);
+enum class TraceFormat : uint32_t {
+  kV1 = kTraceVersionV1,
+  kV2 = kTraceVersionV2,
+};
 
-/// Throws std::runtime_error on bad magic, unknown version, or truncation.
+/// Writing v2 validates that every op addresses a vertex < num_vertices
+/// (a file that would fail its own strict reload is a bug at write time).
+void save_trace(const Trace& t, std::ostream& out,
+                TraceFormat format = TraceFormat::kV2);
+void save_trace_file(const Trace& t, const std::string& path,
+                     TraceFormat format = TraceFormat::kV2);
+
+/// Version-dispatching reader (v1 and v2). Throws std::runtime_error on bad
+/// magic, unknown version or flags, truncation, bad op codes, vertex
+/// overflow, or op-count mismatch (see the format comment above).
 Trace load_trace(std::istream& in);
 Trace load_trace_file(const std::string& path);
+
+/// Header + payload statistics of a trace file (the `trace_convert --info`
+/// report): fully decodes the file, so a corrupt trace throws here too.
+struct TraceFileInfo {
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  Vertex num_vertices = 0;
+  uint64_t ops = 0;
+  uint64_t adds = 0;
+  uint64_t removes = 0;
+  uint64_t queries = 0;
+  uint64_t file_bytes = 0;
+  uint64_t header_bytes = 0;
+  uint64_t payload_bytes = 0;
+  /// payload_bytes / ops (0 when the trace is empty). 9.0 for v1 by
+  /// construction; the v2 target on temporal streams is <= 3.
+  double bytes_per_op = 0;
+};
+
+TraceFileInfo trace_info_file(const std::string& path);
+
+/// SNAP-style temporal edge list: one event per line, "u v [timestamp]",
+/// '#'/'%' comments, self-loops dropped, malformed lines skipped (the same
+/// tolerant parse as load_snap). Events without a timestamp keep file order
+/// (their index becomes the timestamp).
+struct TemporalEdge {
+  Vertex u = 0;
+  Vertex v = 0;
+  uint64_t t = 0;
+
+  friend bool operator==(const TemporalEdge&, const TemporalEdge&) = default;
+};
+
+std::vector<TemporalEdge> load_temporal_snap(std::istream& in);
+std::vector<TemporalEdge> load_temporal_snap_file(const std::string& path);
+
+/// SNAP temporal stream -> DCTR conversion knobs (tools/trace_convert).
+struct ConvertOptions {
+  /// Drop an add whose edge is currently live (multi-edges in the raw
+  /// stream otherwise replay as no-op adds returning false).
+  bool dedup = false;
+  /// Live-edge cap: 0 = none (the trace is insert-only); N > 0 expires the
+  /// oldest live edge with an explicit remove before each add that would
+  /// exceed N — this is what turns a grow-only SNAP stream into a fully
+  /// dynamic workload.
+  std::size_t window = 0;
+  /// Emit a connected(u, v) probe between the endpoints of two random live
+  /// edges every N update ops (0 = no queries).
+  uint32_t query_every = 0;
+  uint64_t seed = 42;  ///< probe endpoint choice
+};
+
+/// Convert a temporal event stream into a replayable trace: events are
+/// stably sorted by timestamp, each becomes an add (subject to dedup /
+/// window expiry above), and num_vertices is sized from the largest
+/// endpoint seen.
+Trace temporal_to_trace(std::vector<TemporalEdge> events,
+                        const ConvertOptions& opts = {});
 
 }  // namespace condyn::io

@@ -52,9 +52,17 @@ struct ThreadTotals {
   uint64_t batches = 0;
   uint64_t batch_ns_total = 0;
   uint64_t batch_ns_max = 0;
+  // caps.tracks_latency only: one sample per measured op. u32 nanoseconds
+  // caps a sample at ~4.3 s — far beyond any single connectivity op — and
+  // halves the footprint of paper-sized traces.
+  std::vector<uint32_t> latency_ns;
 };
 
-RunResult combine(const std::vector<ThreadTotals>& totals, double elapsed_ms,
+uint32_t clamped_ns(uint64_t ns) noexcept {
+  return ns > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(ns);
+}
+
+RunResult combine(std::vector<ThreadTotals>& totals, double elapsed_ms,
                   unsigned threads) {
   RunResult r;
   r.elapsed_ms = elapsed_ms;
@@ -84,6 +92,33 @@ RunResult combine(const std::vector<ThreadTotals>& totals, double elapsed_ms,
       total_ns > 0
           ? 100.0 * (total_ns - std::min<double>(wait_ns, total_ns)) / total_ns
           : 100.0;
+
+  // Per-op latency distribution (tracks_latency scenarios): merge every
+  // worker's samples, sort once, read the percentiles off the order
+  // statistics. Worker vectors are moved from — totals is dead after this.
+  std::vector<uint32_t> samples;
+  for (ThreadTotals& t : totals) {
+    if (samples.empty()) {
+      samples = std::move(t.latency_ns);
+    } else {
+      samples.insert(samples.end(), t.latency_ns.begin(), t.latency_ns.end());
+    }
+  }
+  if (!samples.empty()) {
+    std::sort(samples.begin(), samples.end());
+    const auto at = [&](double q) {
+      const auto idx = static_cast<std::size_t>(q * samples.size());
+      return samples[std::min(idx, samples.size() - 1)] / 1e3;
+    };
+    uint64_t sum = 0;
+    for (uint32_t ns : samples) sum += ns;
+    r.latency_samples = samples.size();
+    r.latency_us_avg = static_cast<double>(sum) / samples.size() / 1e3;
+    r.latency_us_p50 = at(0.50);
+    r.latency_us_p90 = at(0.90);
+    r.latency_us_p99 = at(0.99);
+    r.latency_us_max = samples.back() / 1e3;
+  }
   return r;
 }
 
@@ -154,6 +189,12 @@ RunResult run_timed(const ScenarioInfo& s, DynamicConnectivity& dc,
           ++mine.batches;
           mine.batch_ns_total += ns;
           mine.batch_ns_max = std::max(mine.batch_ns_max, ns);
+        } else if (s.caps.tracks_latency) {
+          if (!stream->next(op)) break;
+          const uint64_t t0 = lock_stats::now_ns();
+          exec_op(dc, op);
+          mine.latency_ns.push_back(clamped_ns(lock_stats::now_ns() - t0));
+          ++mine.ops;
         } else {
           if (!stream->next(op)) break;
           exec_op(dc, op);
@@ -206,6 +247,14 @@ RunResult run_finite(const ScenarioInfo& s, DynamicConnectivity& dc,
           ++mine.batches;
           mine.batch_ns_total += ns;
           mine.batch_ns_max = std::max(mine.batch_ns_max, ns);
+        }
+      } else if (s.caps.tracks_latency) {
+        Op op;
+        while (stream->next(op)) {
+          const uint64_t b0 = lock_stats::now_ns();
+          exec_op(dc, op);
+          mine.latency_ns.push_back(clamped_ns(lock_stats::now_ns() - b0));
+          ++mine.ops;
         }
       } else {
         Op op;

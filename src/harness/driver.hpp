@@ -55,6 +55,16 @@ struct RunResult {
   uint64_t batches = 0;
   double batch_latency_us_avg = 0;
   double batch_latency_us_max = 0;
+  // Scenarios whose caps set tracks_latency (trace-replay-dep): every
+  // measured op is individually timed and the distribution over all
+  // workers is summarized here — the closed-loop latency view throughput
+  // numbers hide. latency_samples == 0 means the scenario doesn't track.
+  uint64_t latency_samples = 0;
+  double latency_us_avg = 0;
+  double latency_us_p50 = 0;
+  double latency_us_p90 = 0;
+  double latency_us_p99 = 0;
+  double latency_us_max = 0;
 };
 
 /// Run one registered scenario (harness/scenario.hpp): applies the prefill

@@ -75,6 +75,20 @@ std::vector<Op> edges_as_ops(std::vector<Edge> edges, OpKind kind) {
   return ops;
 }
 
+/// The trace both replay scenarios pull from: run_scenario pre-loads it into
+/// cfg.preloaded_trace so N workers don't re-read the file N times; direct
+/// factory callers (record_trace, tests) fall back to loading it here.
+std::shared_ptr<const io::Trace> resolve_trace(const RunConfig& cfg,
+                                               const char* scenario) {
+  if (cfg.preloaded_trace != nullptr) return cfg.preloaded_trace;
+  if (cfg.trace_path.empty()) {
+    throw std::invalid_argument(std::string(scenario) +
+                                " scenario needs RunConfig::trace_path "
+                                "(DC_BENCH_TRACE)");
+  }
+  return std::make_shared<const io::Trace>(io::load_trace_file(cfg.trace_path));
+}
+
 }  // namespace
 
 void register_builtin_scenarios(ScenarioRegistry& r) {
@@ -166,24 +180,24 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
         "replay a recorded trace file (RunConfig::trace_path / "
         "DC_BENCH_TRACE), striped across threads",
         trace_caps, [](const Graph&, const RunConfig& cfg, unsigned t) {
-          // run_scenario pre-loads the trace into cfg.preloaded_trace so N
-          // workers don't re-read the file N times; direct factory callers
-          // (record_trace, tests) fall back to loading it here.
-          std::shared_ptr<const io::Trace> trace = cfg.preloaded_trace;
-          if (trace == nullptr) {
-            if (cfg.trace_path.empty()) {
-              throw std::invalid_argument(
-                  "trace-replay scenario needs RunConfig::trace_path "
-                  "(DC_BENCH_TRACE)");
-            }
-            trace = std::make_shared<const io::Trace>(
-                io::load_trace_file(cfg.trace_path));
-          }
+          const auto trace = resolve_trace(cfg, "trace-replay");
           std::vector<Op> mine;
           mine.reserve(trace->ops.size() / cfg.threads + 1);
           for (std::size_t i = t; i < trace->ops.size(); i += cfg.threads)
             mine.push_back(trace->ops[i]);
           return std::make_unique<VectorOpStream>(std::move(mine));
+        });
+
+  ScenarioCaps dep_caps = trace_caps;
+  dep_caps.tracks_latency = true;
+  r.add("trace-replay-dep",
+        "replay a recorded trace hash-partitioned by edge: all ops on one "
+        "edge stay ordered on one thread (dependency-preserving, closed-loop "
+        "per-op latency)",
+        dep_caps, [](const Graph&, const RunConfig& cfg, unsigned t) {
+          const auto trace = resolve_trace(cfg, "trace-replay-dep");
+          return std::make_unique<VectorOpStream>(
+              edge_partition(trace->ops, t, cfg.threads));
         });
 }
 

@@ -33,6 +33,9 @@ struct ScenarioCaps {
   bool batched = false;
   /// Requires RunConfig::trace_path to point at a recorded trace.
   bool needs_trace = false;
+  /// The driver times every individual operation and RunResult carries
+  /// latency percentiles (the closed-loop measurement of trace-replay-dep).
+  bool tracks_latency = false;
   Prefill prefill = Prefill::kNone;
 };
 

@@ -174,6 +174,23 @@ std::vector<Edge> stripe(const std::vector<Edge>& edges, unsigned thread,
   return out;
 }
 
+uint64_t edge_partition_hash(Vertex u, Vertex v) noexcept {
+  const Edge e(u, v);  // canonical orientation: hash(u,v) == hash(v,u)
+  return mix64(e.key() ^ 0xdec0de5eedull);
+}
+
+std::vector<Op> edge_partition(std::span<const Op> ops, unsigned thread,
+                               unsigned num_threads) {
+  std::vector<Op> out;
+  if (num_threads == 0) return out;
+  out.reserve(ops.size() / num_threads + 1);
+  for (const Op& op : ops) {
+    if (edge_partition_hash(op.u, op.v) % num_threads == thread)
+      out.push_back(op);
+  }
+  return out;
+}
+
 std::vector<std::vector<Op>> update_batches(const std::vector<Edge>& edges,
                                             std::size_t batch_size,
                                             OpKind kind) {

@@ -227,6 +227,21 @@ std::vector<Edge> random_half(const Graph& g, uint64_t seed);
 std::vector<Edge> stripe(const std::vector<Edge>& edges, unsigned thread,
                          unsigned num_threads);
 
+/// Canonical per-edge hash behind the dependency-preserving replay
+/// partition: order-insensitive in (u, v), seed-free so every thread of a
+/// run (and every run) agrees on edge ownership.
+uint64_t edge_partition_hash(Vertex u, Vertex v) noexcept;
+
+/// Hash-partition of a recorded op stream for the `trace-replay-dep`
+/// scenario: thread t of T owns every op whose edge hashes to t, in
+/// recorded order. Unlike `stripe`'s round-robin (which scatters one
+/// edge's add/remove/query history across workers, so replay races against
+/// itself), this keeps all ops touching one edge ordered on one thread —
+/// the final edge set, and hence final connectivity, of a concurrent
+/// replay matches the sequential one.
+std::vector<Op> edge_partition(std::span<const Op> ops, unsigned thread,
+                               unsigned num_threads);
+
 /// Chop an edge list into apply_batch-ready batches of `kind` updates
 /// (kAdd to build a structure up — e.g. batch pre-fill — kRemove to
 /// tear one down). The final batch holds the remainder.

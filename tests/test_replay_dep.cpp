@@ -1,0 +1,196 @@
+// Dependency-preserving trace replay: the edge-hash partition keeps every
+// edge's op history ordered on one thread, so a concurrent replay reaches
+// the same final edge set — and hence the same final connectivity — as the
+// sequential oracle on every variant. Also covers the per-op latency
+// percentiles RunResult carries for tracks_latency scenarios. This test
+// runs under the CI ThreadSanitizer job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/factory.hpp"
+#include "graph/dsu.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "harness/driver.hpp"
+#include "harness/scenario.hpp"
+#include "harness/workload.hpp"
+#include "util/random.hpp"
+
+namespace condyn {
+namespace {
+
+using harness::RunConfig;
+using harness::ScenarioInfo;
+
+std::string source_path(const std::string& rel) {
+  return std::string(CONDYN_SOURCE_DIR) + "/" + rel;
+}
+
+/// The converted SNAP sample (adds, window removes, probes), written once.
+const io::Trace& sample_trace() {
+  static const io::Trace t = [] {
+    io::ConvertOptions opts;
+    opts.dedup = true;
+    opts.window = 120;
+    opts.query_every = 6;
+    return io::temporal_to_trace(
+        io::load_temporal_snap_file(source_path("data/sample_temporal.txt")),
+        opts);
+  }();
+  return t;
+}
+
+const std::string& sample_trace_path() {
+  static const std::string path = [] {
+    const std::string p = ::testing::TempDir() + "replay_dep_sample.dctr";
+    io::save_trace_file(sample_trace(), p);
+    return p;
+  }();
+  return path;
+}
+
+/// Final live edge set of a sequential replay — the ground truth any
+/// dependency-preserving concurrent replay must reproduce.
+std::set<Edge> final_edges(const io::Trace& t) {
+  std::set<Edge> live;
+  for (const Op& op : t.ops) {
+    if (op.u == op.v) continue;
+    const Edge e(op.u, op.v);
+    if (op.kind == OpKind::kAdd) live.insert(e);
+    if (op.kind == OpKind::kRemove) live.erase(e);
+  }
+  return live;
+}
+
+TEST(EdgePartition, HashIsOrderInsensitive) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(1 << 20));
+    const auto v = static_cast<Vertex>(rng.next_below(1 << 20));
+    EXPECT_EQ(harness::edge_partition_hash(u, v),
+              harness::edge_partition_hash(v, u));
+  }
+}
+
+TEST(EdgePartition, SpreadsEdgesAcrossThreads) {
+  // Not a cryptographic bar — just "no thread starves" on a real op mix.
+  const io::Trace& t = sample_trace();
+  for (unsigned threads : {2u, 4u, 7u}) {
+    std::size_t total = 0;
+    for (unsigned w = 0; w < threads; ++w) {
+      const auto mine = harness::edge_partition(t.ops, w, threads);
+      EXPECT_GT(mine.size(), t.ops.size() / threads / 4) << threads << "/" << w;
+      total += mine.size();
+    }
+    EXPECT_EQ(total, t.ops.size()) << threads;
+  }
+}
+
+TEST(EdgePartition, KeepsEveryEdgeOrderedOnOneThread) {
+  const io::Trace& t = sample_trace();
+  constexpr unsigned kThreads = 5;
+  std::map<Edge, unsigned> owner;
+  std::map<Edge, std::vector<Op>> recorded;  // per-edge history, trace order
+  for (const Op& op : t.ops) recorded[Edge(op.u, op.v)].push_back(op);
+
+  std::map<Edge, std::vector<Op>> replayed;
+  for (unsigned w = 0; w < kThreads; ++w) {
+    for (const Op& op : harness::edge_partition(t.ops, w, kThreads)) {
+      const Edge e(op.u, op.v);
+      const auto [it, fresh] = owner.emplace(e, w);
+      EXPECT_EQ(it->second, w) << "edge " << e.u << "," << e.v
+                               << " split across threads";
+      (void)fresh;
+      replayed[e].push_back(op);
+    }
+  }
+  // Each edge's subsequence is exactly its recorded history, in order.
+  EXPECT_EQ(replayed, recorded);
+}
+
+TEST(ReplayDep, SequentialPartitionIsTheWholeTrace) {
+  const io::Trace& t = sample_trace();
+  EXPECT_EQ(harness::edge_partition(t.ops, 0, 1), t.ops);
+}
+
+TEST(ReplayDep, ScenarioIsRegisteredWithLatencyTracking) {
+  const ScenarioInfo* s = harness::find_scenario("trace-replay-dep");
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(s->caps.finite);
+  EXPECT_TRUE(s->caps.needs_trace);
+  EXPECT_TRUE(s->caps.tracks_latency);
+  EXPECT_EQ(s->caps.prefill, harness::Prefill::kNone);
+}
+
+TEST(ReplayDep, ConcurrentReplayMatchesOracleConnectivityOnEveryVariant) {
+  // The acceptance bar: the dependency-preserving replay of the converted
+  // SNAP sample ends in the oracle's connectivity on all 13 variants, at
+  // a thread count that actually interleaves.
+  const io::Trace& t = sample_trace();
+  const std::set<Edge> live = final_edges(t);
+  Dsu oracle(t.num_vertices);
+  for (const Edge& e : live) oracle.unite(e.u, e.v);
+
+  const ScenarioInfo* s = harness::find_scenario("trace-replay-dep");
+  ASSERT_NE(s, nullptr);
+  const Graph g(t.num_vertices);  // needs_trace scenarios size from the trace
+  RunConfig cfg;
+  cfg.threads = 4;
+  cfg.trace_path = sample_trace_path();
+
+  Xoshiro256 rng(99);
+  for (const VariantInfo& v : all_variants()) {
+    auto dc = v.make(t.num_vertices, true);
+    const harness::RunResult r = harness::run_scenario(*s, *dc, g, cfg);
+    EXPECT_EQ(r.total_ops, t.ops.size()) << v.name;
+    // Compare connectivity on every touched vertex against a fixed anchor
+    // plus random pairs — equality on all of them pins the partition.
+    for (Vertex u = 1; u < t.num_vertices; ++u) {
+      ASSERT_EQ(dc->connected(0, u), oracle.connected(0, u))
+          << v.name << " vertex " << u;
+    }
+    for (int i = 0; i < 500; ++i) {
+      const auto a = static_cast<Vertex>(rng.next_below(t.num_vertices));
+      const auto b = static_cast<Vertex>(rng.next_below(t.num_vertices));
+      ASSERT_EQ(dc->connected(a, b), oracle.connected(a, b))
+          << v.name << " pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(ReplayDep, RunResultCarriesLatencyPercentiles) {
+  const io::Trace& t = sample_trace();
+  const ScenarioInfo* s = harness::find_scenario("trace-replay-dep");
+  ASSERT_NE(s, nullptr);
+  const Graph g(t.num_vertices);
+  RunConfig cfg;
+  cfg.threads = 2;
+  cfg.trace_path = sample_trace_path();
+  auto dc = make_variant("full", t.num_vertices);
+  const harness::RunResult r = harness::run_scenario(*s, *dc, g, cfg);
+
+  EXPECT_EQ(r.latency_samples, t.ops.size());
+  EXPECT_GT(r.latency_us_p50, 0.0);
+  EXPECT_LE(r.latency_us_p50, r.latency_us_p90);
+  EXPECT_LE(r.latency_us_p90, r.latency_us_p99);
+  EXPECT_LE(r.latency_us_p99, r.latency_us_max);
+  EXPECT_GT(r.latency_us_avg, 0.0);
+  EXPECT_LE(r.latency_us_avg, r.latency_us_max);
+
+  // The plain striped replay does not pay the timing cost.
+  const ScenarioInfo* striped = harness::find_scenario("trace-replay");
+  ASSERT_NE(striped, nullptr);
+  auto dc2 = make_variant("full", t.num_vertices);
+  const harness::RunResult r2 = harness::run_scenario(*striped, *dc2, g, cfg);
+  EXPECT_EQ(r2.latency_samples, 0u);
+  EXPECT_EQ(r2.latency_us_max, 0.0);
+}
+
+}  // namespace
+}  // namespace condyn

@@ -82,7 +82,7 @@ Graph tiny_graph() { return gen::erdos_renyi(24, 60, 3); }
 
 TEST(ScenarioRegistry, EnumeratesTheBuiltins) {
   const auto& scenarios = harness::all_scenarios();
-  EXPECT_GE(scenarios.size(), 9u);
+  EXPECT_GE(scenarios.size(), 10u);
   // Ids are sequential in registration order, names unique.
   std::set<std::string> names;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -92,7 +92,7 @@ TEST(ScenarioRegistry, EnumeratesTheBuiltins) {
   for (const char* name :
        {"random", "incremental", "decremental", "batch-random",
         "batch-incremental", "zipfian", "sliding-window", "component-local",
-        "trace-replay"}) {
+        "trace-replay", "trace-replay-dep"}) {
     const ScenarioInfo* s = harness::find_scenario(name);
     ASSERT_NE(s, nullptr) << name;
     EXPECT_STREQ(s->name, name);
@@ -105,6 +105,9 @@ TEST(ScenarioRegistry, EnumeratesTheBuiltins) {
   EXPECT_TRUE(harness::find_scenario("incremental")->caps.finite);
   EXPECT_TRUE(harness::find_scenario("batch-random")->caps.batched);
   EXPECT_TRUE(harness::find_scenario("trace-replay")->caps.needs_trace);
+  EXPECT_TRUE(harness::find_scenario("trace-replay-dep")->caps.needs_trace);
+  EXPECT_TRUE(harness::find_scenario("trace-replay-dep")->caps.tracks_latency);
+  EXPECT_FALSE(harness::find_scenario("trace-replay")->caps.tracks_latency);
   EXPECT_EQ(harness::find_scenario("decremental")->caps.prefill,
             harness::Prefill::kFull);
 }
@@ -316,13 +319,15 @@ TEST(ScenarioStreams, ComponentLocalOpsStayInOneCommunityPerRun) {
 
 TEST(TraceIo, RoundTripsThroughTheBinaryFormat) {
   io::Trace t;
-  t.num_vertices = 1000;
+  t.num_vertices = 0x80000000u;  // v2 validates ops against the universe
   t.ops = {Op::add(1, 2), Op::remove(999, 0), Op::connected(5, 5),
            Op::add(0xffffffffu >> 1, 3)};
-  std::stringstream ss;
-  io::save_trace(t, ss);
-  const io::Trace back = io::load_trace(ss);
-  EXPECT_EQ(back, t);
+  for (const io::TraceFormat f : {io::TraceFormat::kV1, io::TraceFormat::kV2}) {
+    std::stringstream ss;
+    io::save_trace(t, ss, f);
+    const io::Trace back = io::load_trace(ss);
+    EXPECT_EQ(back, t) << "format v" << static_cast<uint32_t>(f);
+  }
 }
 
 TEST(TraceIo, RejectsCorruptInput) {
@@ -333,7 +338,7 @@ TEST(TraceIo, RejectsCorruptInput) {
   t.num_vertices = 4;
   t.ops = {Op::add(0, 1), Op::connected(2, 3)};
   std::stringstream ss;
-  io::save_trace(t, ss);
+  io::save_trace(t, ss, io::TraceFormat::kV1);  // v1 byte offsets below
   const std::string bytes = ss.str();
   // Truncation mid-op.
   std::stringstream truncated(bytes.substr(0, bytes.size() - 3));

@@ -1,0 +1,146 @@
+// trace_convert — SNAP-style temporal edge lists in, DCTR traces out
+// (DESIGN.md §6.5). The importer behind the trace ecosystem: public graph
+// streams become replayable workloads for every scenario/variant pair.
+//
+//   trace_convert convert <in.txt> <out.dctr> [options]
+//       --dedup        drop re-adds of a live edge
+//       --window N     cap live edges at N; the oldest is removed first
+//                      (turns an insert-only stream fully dynamic)
+//       --queries N    insert a connected() probe every N update ops
+//       --seed S       probe endpoint RNG seed (default 42)
+//       --v1           write the uncompressed v1 format instead of v2
+//   trace_convert info <trace.dctr>
+//       print header fields, op mix and bytes/op (strict decode: a corrupt
+//       trace fails here instead of at replay time)
+//   trace_convert recompress <in.dctr> <out.dctr> [--v1]
+//       re-encode a trace between versions; ops are preserved exactly
+//
+// Subcommands also accept the --info / --recompress spellings.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/io.hpp"
+
+namespace {
+
+using namespace condyn;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: trace_convert convert <in.txt> <out.dctr>\n"
+      "         [--dedup] [--window N] [--queries N] [--seed S] [--v1]\n"
+      "       trace_convert info <trace.dctr>\n"
+      "       trace_convert recompress <in.dctr> <out.dctr> [--v1]\n");
+  return 2;
+}
+
+bool flag(std::vector<std::string>& args, const char* name) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == name) {
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool value_flag(std::vector<std::string>& args, const char* name,
+                uint64_t* out) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == name) {
+      if (it + 1 == args.end()) throw std::runtime_error(
+          std::string(name) + " needs a value");
+      *out = std::stoull(*(it + 1));
+      args.erase(it, it + 2);
+      return true;
+    }
+  }
+  return false;
+}
+
+void print_info(const std::string& path) {
+  const io::TraceFileInfo info = io::trace_info_file(path);
+  std::printf("trace: %s\n", path.c_str());
+  std::printf("  version:      %u%s\n", info.version,
+              info.version == io::kTraceVersionV2 ? " (delta+varint)" : "");
+  if (info.version == io::kTraceVersionV2)
+    std::printf("  flags:        0x%x\n", info.flags);
+  std::printf("  vertices:     %u\n", info.num_vertices);
+  std::printf("  ops:          %llu (adds %llu, removes %llu, queries %llu)\n",
+              static_cast<unsigned long long>(info.ops),
+              static_cast<unsigned long long>(info.adds),
+              static_cast<unsigned long long>(info.removes),
+              static_cast<unsigned long long>(info.queries));
+  std::printf("  file bytes:   %llu (header %llu, payload %llu)\n",
+              static_cast<unsigned long long>(info.file_bytes),
+              static_cast<unsigned long long>(info.header_bytes),
+              static_cast<unsigned long long>(info.payload_bytes));
+  std::printf("  bytes/op:     %.2f\n", info.bytes_per_op);
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  while (cmd.size() >= 2 && cmd[0] == '-') cmd.erase(0, 1);  // --info == info
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  if (cmd == "info") {
+    if (args.size() != 1) return usage();
+    print_info(args[0]);
+    return 0;
+  }
+
+  if (cmd == "recompress") {
+    const bool v1 = flag(args, "--v1");
+    if (args.size() != 2) return usage();
+    const io::Trace t = io::load_trace_file(args[0]);
+    io::save_trace_file(t, args[1],
+                        v1 ? io::TraceFormat::kV1 : io::TraceFormat::kV2);
+    std::printf("recompressed %zu ops: %s -> %s (v%u)\n", t.ops.size(),
+                args[0].c_str(), args[1].c_str(),
+                v1 ? io::kTraceVersionV1 : io::kTraceVersionV2);
+    print_info(args[1]);
+    return 0;
+  }
+
+  if (cmd == "convert") {
+    io::ConvertOptions opts;
+    const bool v1 = flag(args, "--v1");
+    opts.dedup = flag(args, "--dedup");
+    uint64_t window = 0, queries = 0;
+    value_flag(args, "--window", &window);
+    value_flag(args, "--queries", &queries);
+    value_flag(args, "--seed", &opts.seed);
+    opts.window = static_cast<std::size_t>(window);
+    opts.query_every = static_cast<uint32_t>(queries);
+    if (args.size() != 2) return usage();
+    const auto events = io::load_temporal_snap_file(args[0]);
+    if (events.empty())
+      throw std::runtime_error(args[0] + " holds no temporal edges");
+    const io::Trace t = io::temporal_to_trace(events, opts);
+    io::save_trace_file(t, args[1],
+                        v1 ? io::TraceFormat::kV1 : io::TraceFormat::kV2);
+    std::printf("converted %zu events -> %zu ops, |V|=%u: %s\n",
+                events.size(), t.ops.size(), t.num_vertices, args[1].c_str());
+    print_info(args[1]);
+    return 0;
+  }
+
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_convert: %s\n", e.what());
+    return 1;
+  }
+}
