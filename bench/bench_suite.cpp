@@ -109,7 +109,21 @@ void add_sweep_record(JsonReport& json, const ScenarioInfo& s, const Graph& g,
       .field("reads", r.op_counters.reads)
       .field("read_retries", r.op_counters.read_retries)
       .field("additions", r.op_counters.additions)
-      .field("removals", r.op_counters.removals);
+      .field("removals", r.op_counters.removals)
+      // Per-kind throughput (Query API v2): how many of the measured ops
+      // were of each vocabulary kind and at what rate — a size-query mix
+      // reports its component_size/representative rates separately from
+      // plain connectivity probes.
+      .field("ops_add", r.ops_by_kind[0])
+      .field("ops_remove", r.ops_by_kind[1])
+      .field("ops_connected", r.ops_by_kind[2])
+      .field("ops_component_size", r.ops_by_kind[3])
+      .field("ops_representative", r.ops_by_kind[4])
+      .field("add_per_ms", r.kind_per_ms(OpKind::kAdd))
+      .field("remove_per_ms", r.kind_per_ms(OpKind::kRemove))
+      .field("connected_per_ms", r.kind_per_ms(OpKind::kConnected))
+      .field("component_size_per_ms", r.kind_per_ms(OpKind::kComponentSize))
+      .field("representative_per_ms", r.kind_per_ms(OpKind::kRepresentative));
 }
 
 /// The main registry × registry enumeration: scenario × read% × graphs ×
@@ -494,11 +508,15 @@ void list_registries() {
   }
   std::printf("\nVariants (%zu registered):\n", all_variants().size());
   for (const VariantInfo& v : all_variants()) {
-    std::printf("  %2d  %-18s [%s%s%s%s]  %s\n", v.id, v.name,
+    std::printf("  %2d  %-18s [%s%s%s%s%s]  %s\n", v.id, v.name,
                 v.caps.native_batch ? "batch" : "per-op",
                 v.caps.lock_free_reads ? ",nbreads" : "",
                 v.caps.atomic_batch ? ",atomic" : "",
-                v.caps.combining ? ",combining" : "", v.description);
+                v.caps.combining ? ",combining" : "",
+                v.caps.sized_components && v.caps.stable_representative
+                    ? ",values"
+                    : "",
+                v.description);
   }
 }
 

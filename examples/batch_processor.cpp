@@ -64,7 +64,7 @@ bool same_answers(const std::vector<BatchResult>& a,
                   const std::vector<BatchResult>& b) {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i].results != b[i].results) return false;
+    if (a[i].values != b[i].values) return false;
   }
   return true;
 }

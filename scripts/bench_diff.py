@@ -3,12 +3,21 @@
 
 Usage:
     scripts/bench_diff.py BASELINE.json CURRENT.json [options]
+    scripts/bench_diff.py "b1.json,b2.json,b3.json" \
+        "c1.json,c2.json,c3.json" --repeat 3
 
 Sweep records are matched on (scenario, graph, variant, threads,
 read_percent, batch_size); a data point whose ops_per_ms dropped by more
 than --threshold percent (default 10) is a regression. Memory-section
 records are matched the same way on allocs_per_op (an *increase* beyond the
 threshold is the regression there).
+
+Either side may be a comma-separated list of artifacts from repeated
+bench_suite runs: each data point is then the per-key *median* across the
+runs, which removes most scheduler noise — the first step toward
+hard-gating throughput in CI. --repeat N asserts both sides carry exactly
+N artifacts (catches a forgotten run in scripted sweeps). Calibration
+records are median-combined the same way.
 
 Exit status: 0 = clean, 1 = regressions (or coverage loss), 2 = bad input.
 
@@ -19,11 +28,13 @@ Two classes of finding:
   * throughput drop — ops_per_ms fell beyond the threshold. Throughput is
     machine-dependent, so CI compares a fresh run against a checked-in
     baseline with --warn-only (drops are reported, not fatal) while local
-    before/after runs on one machine use the default hard mode.
+    before/after runs on one machine use the default hard mode (medians
+    over --repeat runs recommended).
 """
 
 import argparse
 import json
+import statistics
 import sys
 
 SWEEP_KEY = ("scenario", "graph", "variant", "threads", "read_percent",
@@ -43,7 +54,17 @@ def load(path):
     return data
 
 
-def index(results, section, key_fields, value_field, scale=1.0):
+def load_side(spec, repeat, side):
+    """One side of the diff: a path or a comma-separated list of paths from
+    repeated runs. Returns the list of loaded artifacts."""
+    paths = [p for p in spec.split(",") if p.strip()]
+    if repeat and len(paths) != repeat:
+        sys.exit(f"bench_diff: --repeat {repeat} but the {side} side lists "
+                 f"{len(paths)} artifact(s): {spec}")
+    return [load(p) for p in paths]
+
+
+def index_one(results, section, key_fields, value_field):
     out = {}
     for r in results:
         if r.get("section") != section or r.get(value_field) is None:
@@ -55,17 +76,34 @@ def index(results, section, key_fields, value_field, scale=1.0):
             # points match (covers trace-replay and trace-replay-dep).
             r["graph"] = "<trace>"
         key = tuple(r.get(k) for k in key_fields)
-        out[key] = r[value_field] * scale
+        out[key] = r[value_field]
     return out
 
 
-def calibration_ops_per_ms(data):
+def index(datas, section, key_fields, value_field, scale=1.0):
+    """Index every artifact of one side and median-combine per key. A key
+    only counts as covered if *some* run produced it (runs that missed a
+    point — e.g. a crashed rerun — don't erase the side's coverage)."""
+    runs = [index_one(d["results"], section, key_fields, value_field)
+            for d in datas]
+    keys = set().union(*runs) if runs else set()
+    out = {}
+    for key in keys:
+        values = [r[key] for r in runs if key in r]
+        out[key] = statistics.median(values) * scale
+    return out
+
+
+def calibration_ops_per_ms(datas):
     """The fixed single-thread coarse run bench_suite stamps into every
-    artifact (section == "calibration"); None for pre-calibration files."""
-    for r in data.get("results", []):
-        if r.get("section") == "calibration" and r.get("ops_per_ms"):
-            return r["ops_per_ms"]
-    return None
+    artifact (section == "calibration"), median-combined across repeated
+    runs; None for pre-calibration files."""
+    values = []
+    for data in datas:
+        for r in data.get("results", []):
+            if r.get("section") == "calibration" and r.get("ops_per_ms"):
+                values.append(r["ops_per_ms"])
+    return statistics.median(values) if values else None
 
 
 def fmt_key(key_fields, key):
@@ -109,10 +147,14 @@ def main():
     ap.add_argument("--no-calibration", action="store_true",
                     help="compare raw throughput without scaling by the "
                          "calibration records (single-machine diffs)")
+    ap.add_argument("--repeat", type=int, default=0,
+                    help="expect N comma-separated artifacts per side and "
+                         "compare per-key medians over them (noise "
+                         "suppression for throughput gating)")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base = load_side(args.baseline, args.repeat, "baseline")
+    cur = load_side(args.current, args.repeat, "current")
 
     # Cross-machine normalization: both artifacts carry a fixed
     # single-thread coarse calibration run; scaling the current run's
@@ -140,8 +182,8 @@ def main():
     all_regressions, all_missing, all_improvements = [], [], []
     compared = 0
     for section, key_fields, value_field, higher, scale in checks:
-        b = index(base["results"], section, key_fields, value_field)
-        c = index(cur["results"], section, key_fields, value_field, scale)
+        b = index(base, section, key_fields, value_field)
+        c = index(cur, section, key_fields, value_field, scale)
         compared += len(b)
         r, m, i = compare(section, key_fields, b, c, args.threshold, higher)
         all_regressions += r

@@ -34,6 +34,13 @@ trap 'rm -f "$sample_trace" "$sample_v1" "$sample_rt" "$trace" "$json"' EXIT
 cmp "$sample_trace" "$sample_rt"
 ./build/trace_convert info tests/data/golden_v1.dctr > /dev/null
 ./build/trace_convert info tests/data/golden_v2.dctr > /dev/null
+./build/trace_convert info tests/data/golden_v3.dctr | grep -q "version:      3"
+# --reads synthesis with size queries must emit a valid v3 trace.
+sample_reads="$(mktemp /tmp/check-sample-reads.XXXXXX.dctr)"
+trap 'rm -f "$sample_trace" "$sample_v1" "$sample_rt" "$sample_reads" "$trace" "$json"' EXIT
+./build/trace_convert recompress "$sample_trace" "$sample_reads" \
+  --reads 80 --size-queries | grep -q "version:      3"
+./build/trace_convert info "$sample_reads" > /dev/null
 
 ./build/bench_suite --list > /dev/null
 DC_BENCH_SCALE=0.01 ./build/bench_suite --record random "$trace" 2000
@@ -45,11 +52,16 @@ python3 -c "
 import json, sys
 d = json.load(open('$json'))
 n = len({r['scenario'] for r in d['results'] if r['section'] == 'sweep'})
-assert n >= 10, f'expected >= 10 scenarios, got {n}'
+assert n >= 12, f'expected >= 12 scenarios, got {n}'
 assert [r for r in d['results'] if r['section'] == 'memory'], 'no memory records'
 assert [r for r in d['results'] if r['section'] == 'calibration'], 'no calibration record'
 dep = [r for r in d['results'] if r['section'] == 'sweep' and r['scenario'] == 'trace-replay-dep']
 assert dep and all(r['latency_us_p99'] > 0 for r in dep), 'dep-replay latency percentiles missing'
+sq = [r for r in d['results'] if r['section'] == 'sweep' and r['scenario'] == 'size-query']
+assert sq and all(r['ops_component_size'] > 0 and r['component_size_per_ms'] > 0 for r in sq), \
+    'size-query per-kind throughput missing'
+bulk = [r for r in d['results'] if r['section'] == 'sweep' and r['scenario'] == 'bulk-connected']
+assert bulk and all(r['batches'] > 0 for r in bulk), 'bulk-connected batched records missing'
 print(f'bench_suite smoke: {len(d[\"results\"])} JSON records, {n} scenarios')
 "
 
@@ -62,10 +74,11 @@ python3 scripts/bench_diff.py bench/baseline.json "$json" --warn-only
 if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DCONDYN_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" \
-    --target test_concurrent test_nb_hdt test_scenarios test_replay_dep
+    --target test_concurrent test_nb_hdt test_scenarios test_replay_dep \
+             test_query_api
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
     --output-on-failure -j 2 \
-    -R 'test_concurrent|test_nb_hdt|test_scenarios|test_replay_dep'
+    -R 'test_concurrent|test_nb_hdt|test_scenarios|test_replay_dep|test_query_api'
 fi
 
 echo "check.sh: all green"

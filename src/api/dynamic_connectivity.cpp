@@ -4,24 +4,35 @@ namespace condyn {
 
 BatchResult DynamicConnectivity::apply_batch(std::span<const Op> ops) {
   BatchResult r;
-  r.results.resize(ops.size());
+  r.values.resize(ops.size());
   for (std::size_t i = 0; i < ops.size(); ++i) {
-    const Op& op = ops[i];
-    bool value = false;
-    switch (op.kind) {
-      case OpKind::kAdd:
-        value = add_edge(op.u, op.v);
-        break;
-      case OpKind::kRemove:
-        value = remove_edge(op.u, op.v);
-        break;
-      case OpKind::kConnected:
-        value = connected(op.u, op.v);
-        break;
-    }
-    r.set(i, op.kind, value);
+    r.set_op(i, ops[i].kind, exec_single(*this, ops[i]));
   }
   return r;
+}
+
+uint64_t DynamicConnectivity::component_size(Vertex u) {
+  // Scratch scan over the vertex universe: count the members of u's
+  // component one connectivity query at a time. Each query is individually
+  // linearizable, but the aggregate is only consistent when no update races
+  // the scan — the documented base-fallback contract. Variants override
+  // with a snapshot-consistent native path.
+  uint64_t count = 0;
+  const Vertex n = num_vertices();
+  for (Vertex i = 0; i < n; ++i) {
+    if (connected(u, i)) ++count;
+  }
+  return count;
+}
+
+Vertex DynamicConnectivity::representative(Vertex u) {
+  // First (smallest) vertex connected to u; connected(u, u) is always true,
+  // so the scan terminates by u at the latest.
+  const Vertex n = num_vertices();
+  for (Vertex i = 0; i < n; ++i) {
+    if (connected(u, i)) return i;
+  }
+  return u;
 }
 
 }  // namespace condyn

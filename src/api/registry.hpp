@@ -25,6 +25,13 @@ struct VariantCaps {
   /// Updates funnel through a combining substrate (one thread applies
   /// everyone's published operations).
   bool combining = false;
+  /// component_size() is a native O(find_root) path over the ETT's
+  /// vertex-count augmentation rather than the base class's O(n)
+  /// connected() scan (Query API v2, DESIGN.md §5.4).
+  bool sized_components = false;
+  /// representative() natively returns the canonical (smallest-id) member
+  /// of the component, stable between updates of that component.
+  bool stable_representative = false;
 };
 
 /// One evaluated algorithm combination (paper §5.2; numbering kept

@@ -23,13 +23,19 @@ void FlatCombiningDc::combine() {
       if (s.state.load(std::memory_order_seq_cst) != kPending) continue;
       switch (s.type) {
         case OpType::kAdd:
-          s.result = hdt_.add_edge(s.u, s.v).performed;
+          s.result = hdt_.add_edge(s.u, s.v).performed ? 1 : 0;
           break;
         case OpType::kRemove:
-          s.result = hdt_.remove_edge(s.u, s.v).performed;
+          s.result = hdt_.remove_edge(s.u, s.v).performed ? 1 : 0;
           break;
         case OpType::kConnected:
-          s.result = hdt_.connected_writer(s.u, s.v);
+          s.result = hdt_.connected_writer(s.u, s.v) ? 1 : 0;
+          break;
+        case OpType::kComponentSize:
+          s.result = hdt_.component_size_writer(s.u);
+          break;
+        case OpType::kRepresentative:
+          s.result = hdt_.representative_writer(s.u);
           break;
         case OpType::kBatch:
           hdt_.apply_batch({s.batch, s.batch_len}, *s.batch_out);
@@ -75,17 +81,17 @@ bool FlatCombiningDc::submit(OpType type, Vertex u, Vertex v) {
   s.u = u;
   s.v = v;
   submit_and_wait(s);
-  return s.result;
+  return s.result != 0;
 }
 
 BatchResult FlatCombiningDc::apply_batch(std::span<const Op> ops) {
   BatchResult r;
-  r.results.resize(ops.size());
+  r.values.resize(ops.size());
   if (ops.empty()) return r;
 
   if (all_reads(ops)) {
     for (std::size_t i = 0; i < ops.size(); ++i) {
-      r.set(i, OpKind::kConnected, hdt_.connected(ops[i].u, ops[i].v));
+      r.set_op(i, ops[i].kind, hdt_.exec_query(ops[i]));
     }
     return r;
   }

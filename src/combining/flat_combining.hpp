@@ -30,6 +30,14 @@ class FlatCombiningDc final : public DynamicConnectivity {
   }
   bool connected(Vertex u, Vertex v) override { return hdt_.connected(u, v); }
 
+  /// Value queries never enter the combiner either: like connected(), they
+  /// run Listing 1's lock-free protocol (versioned double-collect over the
+  /// root's vcount/vmin augmentation) against the combiner-owned engine.
+  uint64_t component_size(Vertex u) override {
+    return hdt_.component_size(u);
+  }
+  Vertex representative(Vertex u) override { return hdt_.representative(u); }
+
   /// Batched path: the whole batch is published through this thread's slot
   /// (one publication + one wait per batch instead of per op) and applied
   /// atomically by whichever thread combines. Pure-read batches bypass the

@@ -23,13 +23,24 @@ void ParallelCombiningDc::run_reads(Slot& s) {
   if (s.type == OpType::kBatch) {
     op_stats::local().reads += s.batch_len;
     for (uint32_t i = 0; i < s.batch_len; ++i) {
-      const Op& op = s.batch[i];
-      s.batch_out->set(i, OpKind::kConnected,
-                       hdt_.connected_writer(op.u, op.v));
+      // Only read-only batches enter this phase; the shared engine dispatch
+      // covers the whole query vocabulary.
+      s.batch_out->set_op(i, s.batch[i].kind,
+                          hdt_.exec_query_writer(s.batch[i]));
     }
   } else {
     ++op_stats::local().reads;
-    s.result = hdt_.connected_writer(s.u, s.v);
+    switch (s.type) {
+      case OpType::kComponentSize:
+        s.result = hdt_.component_size_writer(s.u);
+        break;
+      case OpType::kRepresentative:
+        s.result = hdt_.representative_writer(s.u);
+        break;
+      default:
+        s.result = hdt_.connected_writer(s.u, s.v) ? 1 : 0;
+        break;
+    }
   }
 }
 
@@ -49,7 +60,7 @@ void ParallelCombiningDc::combine() {
     Slot& s = slots_.at(i);
     if (s.state.load(std::memory_order_seq_cst) != kPending) continue;
     const bool read_only =
-        s.type == OpType::kConnected ||
+        combining::is_read_type(s.type) ||
         (s.type == OpType::kBatch && s.batch_read_only);
     if (read_only) {
       if (i == me) {
@@ -78,10 +89,10 @@ void ParallelCombiningDc::combine() {
     Slot& s = slots_.at(updates[k]);
     switch (s.type) {
       case OpType::kAdd:
-        s.result = hdt_.add_edge(s.u, s.v).performed;
+        s.result = hdt_.add_edge(s.u, s.v).performed ? 1 : 0;
         break;
       case OpType::kRemove:
-        s.result = hdt_.remove_edge(s.u, s.v).performed;
+        s.result = hdt_.remove_edge(s.u, s.v).performed ? 1 : 0;
         break;
       case OpType::kBatch:
         hdt_.apply_batch({s.batch, s.batch_len}, *s.batch_out);
@@ -130,7 +141,7 @@ void ParallelCombiningDc::submit_and_wait(Slot& s) {
   lock_stats::add_acquisition(true);
 }
 
-bool ParallelCombiningDc::submit(OpType type, Vertex u, Vertex v) {
+uint64_t ParallelCombiningDc::submit(OpType type, Vertex u, Vertex v) {
   Slot& s = slots_.mine();
   s.type = type;
   s.u = u;
@@ -141,7 +152,7 @@ bool ParallelCombiningDc::submit(OpType type, Vertex u, Vertex v) {
 
 BatchResult ParallelCombiningDc::apply_batch(std::span<const Op> ops) {
   BatchResult r;
-  r.results.resize(ops.size());
+  r.values.resize(ops.size());
   if (ops.empty()) return r;
   Slot& s = slots_.mine();
   s.type = OpType::kBatch;

@@ -25,13 +25,25 @@ class ParallelCombiningDc final : public DynamicConnectivity {
                                bool sampling = true);
 
   bool add_edge(Vertex u, Vertex v) override {
-    return submit(combining::OpType::kAdd, u, v);
+    return submit(combining::OpType::kAdd, u, v) != 0;
   }
   bool remove_edge(Vertex u, Vertex v) override {
-    return submit(combining::OpType::kRemove, u, v);
+    return submit(combining::OpType::kRemove, u, v) != 0;
   }
   bool connected(Vertex u, Vertex v) override {
-    return submit(combining::OpType::kConnected, u, v);
+    return submit(combining::OpType::kConnected, u, v) != 0;
+  }
+
+  /// Value queries publish through the same slot protocol as connected():
+  /// the combiner releases them into the parallel read phase (they are
+  /// reads), where their owners execute the root lookup on the quiescent
+  /// structure.
+  uint64_t component_size(Vertex u) override {
+    return submit(combining::OpType::kComponentSize, u, u);
+  }
+  Vertex representative(Vertex u) override {
+    return static_cast<Vertex>(
+        submit(combining::OpType::kRepresentative, u, u));
   }
 
   /// Batched path: the whole (possibly mixed) batch is published through
@@ -49,7 +61,7 @@ class ParallelCombiningDc final : public DynamicConnectivity {
   Hdt& engine() noexcept { return hdt_; }
 
  private:
-  bool submit(combining::OpType type, Vertex u, Vertex v);
+  uint64_t submit(combining::OpType type, Vertex u, Vertex v);
   void submit_and_wait(combining::Slot& s);
   void run_reads(combining::Slot& s);
   void combine();

@@ -13,15 +13,17 @@ namespace condyn {
 /// engine (Hdt::apply_batch) and the fine-grained variant so the reorder
 /// semantics live in exactly one place.
 ///
-/// Queries are reorder barriers — they observe the whole edge set — so the
-/// batch decomposes into queries and maximal runs of updates between them.
-/// Within a run, updates on distinct edges commute (their return values and
-/// the resulting edge set depend only on per-edge history), which makes a
-/// *stable* sort by canonical edge key semantics-preserving while grouping
-/// same-edge and same-component work back-to-back.
+/// Queries (connectivity, component size, representative) are reorder
+/// barriers — they observe the whole edge set — so the batch decomposes into
+/// queries and maximal runs of updates between them. Within a run, updates
+/// on distinct edges commute (their return values and the resulting edge set
+/// depend only on per-edge history), which makes a *stable* sort by
+/// canonical edge key semantics-preserving while grouping same-edge and
+/// same-component work back-to-back.
 ///
 /// Calls, in batch order:
-///   on_query(i)    — for each kConnected op, i its batch index;
+///   on_query(i)    — for each query op (any is_query kind), i its batch
+///                    index;
 ///   on_run(order)  — for each update run, `order` the run's batch indices
 ///                    stably sorted by edge key (valid only for the call).
 template <typename QueryFn, typename RunFn>
@@ -30,13 +32,13 @@ void for_each_batch_run(std::span<const Op> ops, QueryFn&& on_query,
   std::vector<uint32_t> order;
   std::size_t i = 0;
   while (i < ops.size()) {
-    if (ops[i].kind == OpKind::kConnected) {
+    if (is_query(ops[i].kind)) {
       on_query(i);
       ++i;
       continue;
     }
     std::size_t j = i;
-    while (j < ops.size() && ops[j].kind != OpKind::kConnected) ++j;
+    while (j < ops.size() && !is_query(ops[j].kind)) ++j;
     order.clear();
     for (std::size_t k = i; k < j; ++k) {
       order.push_back(static_cast<uint32_t>(k));

@@ -45,6 +45,33 @@ class CoarseDc final : public DynamicConnectivity {
     }
   }
 
+  /// Value queries follow the family's read discipline exactly: lock-free
+  /// against the published F_0 augmentation when reads are non-blocking,
+  /// shared (or exclusive) locked root lookup otherwise.
+  uint64_t component_size(Vertex u) override {
+    if constexpr (NonBlockingReads) {
+      return hdt_.component_size(u);
+    } else {
+      ++op_stats::local().reads;
+      mu_.lock_shared();
+      const uint64_t r = hdt_.component_size_writer(u);
+      mu_.unlock_shared();
+      return r;
+    }
+  }
+
+  Vertex representative(Vertex u) override {
+    if constexpr (NonBlockingReads) {
+      return hdt_.representative(u);
+    } else {
+      ++op_stats::local().reads;
+      mu_.lock_shared();
+      const Vertex r = hdt_.representative_writer(u);
+      mu_.unlock_shared();
+      return r;
+    }
+  }
+
   /// One lock acquisition for the whole batch — the amortization this
   /// variant family exists to demonstrate. Update-containing batches are
   /// atomic with respect to concurrent single ops and batches
@@ -52,23 +79,23 @@ class CoarseDc final : public DynamicConnectivity {
   /// the lock and run as individual lock-free queries instead.
   BatchResult apply_batch(std::span<const Op> ops) override {
     BatchResult r;
-    r.results.resize(ops.size());
+    r.values.resize(ops.size());
     if (ops.empty()) return r;
     if (all_reads(ops)) {
-      // A pure-read batch never needs exclusivity: answer exactly like a
-      // sequence of single-op connected() calls — lock-free when the
-      // variant reads non-blocking, shared mode otherwise (so coarse-rw
-      // read batches keep their reader parallelism).
+      // A pure-read batch (connectivity + value queries) never needs
+      // exclusivity: answer exactly like a sequence of single-op calls —
+      // lock-free when the variant reads non-blocking, shared mode
+      // otherwise (so coarse-rw read batches keep their reader
+      // parallelism).
       if constexpr (NonBlockingReads) {
         for (std::size_t i = 0; i < ops.size(); ++i) {
-          r.set(i, OpKind::kConnected, hdt_.connected(ops[i].u, ops[i].v));
+          r.set_op(i, ops[i].kind, hdt_.exec_query(ops[i]));
         }
       } else {
         op_stats::local().reads += ops.size();
         mu_.lock_shared();  // == lock() for exclusive-only locks
         for (std::size_t i = 0; i < ops.size(); ++i) {
-          r.set(i, OpKind::kConnected,
-                hdt_.connected_writer(ops[i].u, ops[i].v));
+          r.set_op(i, ops[i].kind, hdt_.exec_query_writer(ops[i]));
         }
         mu_.unlock_shared();
       }

@@ -14,6 +14,8 @@ VariantCaps coarse_caps(bool lock_free_reads) {
   c.native_batch = true;
   c.atomic_batch = true;
   c.lock_free_reads = lock_free_reads;
+  c.sized_components = true;       // native root-vcount lookup (under/without
+  c.stable_representative = true;  // the lock, per the read discipline)
   return c;
 }
 

@@ -104,6 +104,12 @@ class SharedComponentGuard {
 
   bool connected() const noexcept { return connected_; }
 
+  /// Both locked roots (equal when u and v share a component). With u == v
+  /// this is *the* certified root of u's component — the value queries read
+  /// its vcount/vmin augmentation under the shared lock.
+  ett::Node* first() const noexcept { return a_; }
+  ett::Node* second() const noexcept { return b_; }
+
  private:
   ett::Node* a_ = nullptr;
   ett::Node* b_ = nullptr;

@@ -1,5 +1,6 @@
 #include "core/ett.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "core/stats.hpp"
@@ -29,7 +30,14 @@ uint64_t draw_vertex_priority() noexcept {
 uint64_t draw_arc_priority() noexcept { return thread_rng().next() >> 1; }
 
 uint32_t sz(const Node* x) noexcept { return x ? x->size : 0; }
-uint32_t vc(const Node* x) noexcept { return x ? x->vcount : 0; }
+// vstat is written by the structure's writer only; relaxed is enough on the
+// writer side (readers carry consistency through the version protocol, see
+// component_size_nonblocking).
+uint64_t vs(const Node* x) noexcept {
+  return x ? x->vstat.load(std::memory_order_relaxed) : Node::kEmptyVstat;
+}
+uint32_t vc(const Node* x) noexcept { return Node::vstat_count(vs(x)); }
+Vertex vmn(const Node* x) noexcept { return Node::vstat_min(vs(x)); }
 bool sla(const Node* x) noexcept { return x ? x->sub_level_arc : false; }
 // sub_nonspanning / local_nonspanning stay seq_cst everywhere: the flag
 // protocol is a store-load (Dekker) race — recalculate_flags stores false
@@ -136,7 +144,23 @@ void Forest::set_parent(Node* child, Node* p) noexcept {
 
 void Forest::pull(Node* x) noexcept {
   x->size = 1 + sz(x->left) + sz(x->right);
-  x->vcount = (x->is_vertex ? 1 : 0) + vc(x->left) + vc(x->right);
+  // One packed load per child, one packed store: the count sum and the min
+  // fold over the same two words. The store is a release, paired with the
+  // acquire load in root_vstat_nonblocking: release alone does NOT stop
+  // this (later) store from overtaking the writer's earlier version bump
+  // on weakly-ordered hardware — instead, a reader whose acquire load
+  // returns a transient mid-restructure word thereby synchronizes with it
+  // and must observe the bump on its second version collect, so the
+  // double-collect retries (same pairing as set_parent; x86-TSO gives this
+  // for free either way).
+  const uint64_t l = vs(x->left);
+  const uint64_t r = vs(x->right);
+  const uint32_t count =
+      (x->is_vertex ? 1 : 0) + Node::vstat_count(l) + Node::vstat_count(r);
+  Vertex mn = x->is_vertex ? x->tail : Node::kNoVertexSentinel;
+  if (Node::vstat_min(l) < mn) mn = Node::vstat_min(l);
+  if (Node::vstat_min(r) < mn) mn = Node::vstat_min(r);
+  x->vstat.store(Node::pack_vstat(count, mn), std::memory_order_release);
   x->sub_level_arc = x->arc_at_level || sla(x->left) || sla(x->right);
   recalculate_flags(x);
 }
@@ -263,7 +287,7 @@ Node* Forest::new_vertex_node(Vertex v) {
   x->priority = draw_vertex_priority();
   x->tail = x->head = v;
   x->is_vertex = true;
-  x->vcount = 1;
+  x->vstat.store(Node::pack_vstat(1, v), std::memory_order_relaxed);
   return x;
 }
 
@@ -308,7 +332,40 @@ bool Forest::connected(Vertex u, Vertex v) {
 }
 
 uint32_t Forest::component_vertices(Vertex u) {
-  return find_root(vertex_node(u))->vcount;
+  return vc(find_root(vertex_node(u)));
+}
+
+Vertex Forest::representative_writer(Vertex u) {
+  return vmn(find_root(vertex_node(u)));
+}
+
+uint64_t Forest::root_vstat_nonblocking(Vertex u) {
+  auto guard = ebr::pin();
+  const Node* nu = vertex_node(u);
+  auto& st = op_stats::local();
+  ++st.reads;
+  for (;;) {
+    const RootSnapshot s = find_root_versioned(nu);
+    const uint64_t stat = s.root->vstat.load(std::memory_order_acquire);
+    // Seqlock double-collect (Listing 1's argument, applied to the root
+    // augmentation): every spanning update bumps the involved root versions
+    // before its first physical store, and the acquire load above pairs
+    // with pull()'s release store (see pull for the weak-ordering
+    // argument), so an unchanged snapshot means the word read belongs to a
+    // consistent state of u's component. A pending two-phase cut keeps
+    // both pieces chained to (and counted at) the old root until its
+    // commit — exactly the not-yet-linearized state.
+    if (find_root_versioned(nu) == s) return stat;
+    ++st.read_retries;
+  }
+}
+
+uint64_t Forest::component_size_nonblocking(Vertex u) {
+  return Node::vstat_count(root_vstat_nonblocking(u));
+}
+
+Vertex Forest::representative_nonblocking(Vertex u) {
+  return Node::vstat_min(root_vstat_nonblocking(u));
 }
 
 void Forest::link(Vertex u, Vertex v) {
@@ -522,8 +579,9 @@ std::size_t validate_rec(const Node* x) {
     cnt += validate_rec(c);
   }
   assert(x->size == 1 + sz(x->left) + sz(x->right));
-  assert(x->vcount ==
-         (x->is_vertex ? 1u : 0u) + vc(x->left) + vc(x->right));
+  assert(vc(x) == (x->is_vertex ? 1u : 0u) + vc(x->left) + vc(x->right));
+  assert(vmn(x) == std::min({x->is_vertex ? x->tail : Node::kNoVertexSentinel,
+                             vmn(x->left), vmn(x->right)}));
   assert(x->sub_level_arc ==
          (x->arc_at_level || sla(x->left) || sla(x->right)));
   // sub_nonspanning may be conservatively true, but never falsely false.

@@ -52,13 +52,34 @@ struct Node {
   /// Per-component spanning-edge-removal announcement of the full algorithm
   /// (Listing 5's `removal_op`, meaningful on roots only).
   std::atomic<void*> removal_op{nullptr};
+  /// Packed subtree statistics: high 32 bits = vertex-node count (component
+  /// |V| at the root), low 32 bits = smallest vertex id in the subtree (the
+  /// canonical representative at the root; kNoVertexSentinel for arc-only
+  /// subtrees). One word so pull() publishes both with a single relaxed
+  /// store — the Query API v2's non-blocking component_size /
+  /// representative snapshot a consistent (count, min) pair with one
+  /// acquire load at the root, under the same versioned double-collect as
+  /// connected() (the version protocol, not store order, carries
+  /// consistency; see component_size_nonblocking and DESIGN.md §7.3).
+  std::atomic<uint64_t> vstat{kEmptyVstat};
+
+  static constexpr Vertex kNoVertexSentinel = ~Vertex{0};  ///< arc-only subtree
+  static constexpr uint64_t kEmptyVstat = kNoVertexSentinel;  // count 0
+  static constexpr uint64_t pack_vstat(uint32_t count, Vertex mn) noexcept {
+    return (static_cast<uint64_t>(count) << 32) | mn;
+  }
+  static constexpr uint32_t vstat_count(uint64_t s) noexcept {
+    return static_cast<uint32_t>(s >> 32);
+  }
+  static constexpr Vertex vstat_min(uint64_t s) noexcept {
+    return static_cast<Vertex>(s);
+  }
 
   // --- writer-only fields ---------------------------------------------------
   Node* left = nullptr;
   Node* right = nullptr;
   uint64_t priority = 0;   ///< top bit set for vertex nodes (see Forest docs)
   uint32_t size = 1;       ///< subtree node count (order statistics)
-  uint32_t vcount = 0;     ///< subtree vertex-node count (component |V|)
   Vertex tail = 0;         ///< vertex nodes: the vertex; arcs: edge tail
   Vertex head = 0;         ///< vertex nodes: == tail; arcs: edge head
   bool is_vertex = false;
@@ -175,6 +196,20 @@ class Forest {
   /// Number of vertices in u's component (writer-side).
   uint32_t component_vertices(Vertex u);
 
+  /// Smallest vertex id in u's component (writer-side) — the canonical
+  /// representative of the Query API v2.
+  Vertex representative_writer(Vertex u);
+
+  /// Lock-free component size: find_root_versioned double-collect around the
+  /// root's vcount load, the same seqlock argument as connected() (Listing
+  /// 1). If the snapshot repeats, no spanning update's version bump became
+  /// visible between the two collects, so the value read belongs to a
+  /// consistent state of u's component. Pins EBR internally.
+  uint64_t component_size_nonblocking(Vertex u);
+
+  /// Lock-free canonical representative (root vmin), same double-collect.
+  Vertex representative_nonblocking(Vertex u);
+
   /// Writer: mark/unmark the (u,v) arc pair as "level arc" (the edge's level
   /// equals this forest's level) and fix subtree flags. Used by the HDT
   /// engine to iterate spanning edges to promote.
@@ -192,7 +227,8 @@ class Forest {
 
   /// Writer helpers for the HDT engine's subtree iteration.
   static uint32_t subtree_vertices(const Node* x) noexcept {
-    return x ? x->vcount : 0;
+    return x ? Node::vstat_count(x->vstat.load(std::memory_order_relaxed))
+             : 0;
   }
 
   /// In-order tour of u's component (testing/debugging).
@@ -225,6 +261,11 @@ class Forest {
   static void split_walk(Node* prev, Node*& l, Node*& r) noexcept;
   /// Rotate u's tour so it starts at u; returns the (unchanged) root.
   Node* reroot(Node* u_node) noexcept;
+
+  /// The shared seqlock loop behind both non-blocking value queries: the
+  /// root's packed vstat word, validated by an unchanged (root, version)
+  /// snapshot.
+  uint64_t root_vstat_nonblocking(Vertex u);
 
   Vertex n_;
   int level_;

@@ -56,6 +56,28 @@ class FineDc final : public DynamicConnectivity {
     }
   }
 
+  /// Value queries: the guard acquisition itself certifies the locked node
+  /// is u's component root, so the answer is that root's vcount / vmin
+  /// augmentation — read under the same (shared/exclusive/none) lock
+  /// discipline as connected().
+  uint64_t component_size(Vertex u) override {
+    if constexpr (Mode == FineReadMode::kNonBlocking) {
+      return hdt_.component_size(u);
+    } else {
+      ++op_stats::local().reads;
+      return ett::Node::vstat_count(locked_root_vstat(u));
+    }
+  }
+
+  Vertex representative(Vertex u) override {
+    if constexpr (Mode == FineReadMode::kNonBlocking) {
+      return hdt_.representative(u);
+    } else {
+      ++op_stats::local().reads;
+      return ett::Node::vstat_min(locked_root_vstat(u));
+    }
+  }
+
   /// Batched path. A single lock acquisition for the whole batch is not
   /// possible here: component locks live on level-0 roots, and a spanning
   /// update replaces those roots (a cut commits fresh piece roots), so a
@@ -67,11 +89,13 @@ class FineDc final : public DynamicConnectivity {
   /// roots are still the components' representatives.
   BatchResult apply_batch(std::span<const Op> ops) override {
     BatchResult r;
-    r.results.resize(ops.size());
+    r.values.resize(ops.size());
     for_each_batch_run(
         ops,
         [&](std::size_t i) {
-          r.set(i, OpKind::kConnected, connected(ops[i].u, ops[i].v));
+          // Queries take their own guards, so they run exactly like the
+          // single-op methods (including the value-returning kinds).
+          r.set_op(i, ops[i].kind, exec_single(*this, ops[i]));
         },
         [&](std::span<const uint32_t> order) {
           for (std::size_t p = 0; p < order.size();) {
@@ -105,6 +129,19 @@ class FineDc final : public DynamicConnectivity {
   Hdt& engine() noexcept { return hdt_; }
 
  private:
+  /// The certified root's packed (vcount, vmin) word, read under this
+  /// mode's lock discipline (shared for (7), exclusive for (6)). The guard
+  /// acquisition certifies g.first() is u's component root.
+  uint64_t locked_root_vstat(Vertex u) {
+    if constexpr (Mode == FineReadMode::kSharedLocks) {
+      SharedComponentGuard g(hdt_.level0(), u, u);
+      return g.first()->vstat.load(std::memory_order_relaxed);
+    } else {
+      ComponentGuard g(hdt_.level0(), u, u);
+      return g.first()->vstat.load(std::memory_order_relaxed);
+    }
+  }
+
   Hdt hdt_;
   std::string name_;
 };

@@ -10,6 +10,8 @@ VariantCaps fine_caps(bool lock_free_reads) {
   VariantCaps c;
   c.native_batch = true;
   c.lock_free_reads = lock_free_reads;
+  c.sized_components = true;       // certified root's vcount under the guard
+  c.stable_representative = true;  // certified root's vmin under the guard
   return c;  // not atomic_batch: per-component guards, not a batch lock
 }
 

@@ -172,12 +172,12 @@ Hdt::UpdateOutcome Hdt::remove_edge(Vertex u, Vertex v) {
 }
 
 void Hdt::apply_batch(std::span<const Op> ops, BatchResult& out) {
-  assert(out.results.size() == ops.size());
+  assert(out.values.size() == ops.size());
   for_each_batch_run(
       ops,
       [&](std::size_t i) {
-        out.set(i, OpKind::kConnected, connected_writer(ops[i].u, ops[i].v));
         ++op_stats::local().reads;
+        out.set_op(i, ops[i].kind, exec_query_writer(ops[i]));
       },
       [&](std::span<const uint32_t> order) {
         for (uint32_t k : order) {

@@ -58,6 +58,45 @@ class Hdt {
     return forest0_->connected_writer(u, v);
   }
 
+  /// Lock-free value queries over the published F_0 (Query API v2): the
+  /// root's vcount / vmin augmentation read under the same versioned
+  /// double-collect as connected().
+  uint64_t component_size(Vertex u) {
+    return forest0_->component_size_nonblocking(u);
+  }
+  Vertex representative(Vertex u) {
+    return forest0_->representative_nonblocking(u);
+  }
+
+  /// Writer-side value queries: caller holds lock(s) covering u's component.
+  uint64_t component_size_writer(Vertex u) {
+    return forest0_->component_vertices(u);
+  }
+  Vertex representative_writer(Vertex u) {
+    return forest0_->representative_writer(u);
+  }
+
+  /// One query op of any is_query kind, as a raw value — the single
+  /// dispatch behind every variant's pure-read path (a new query kind is
+  /// added here once, not in each variant's switch). exec_query runs
+  /// lock-free; exec_query_writer requires the caller's lock(s).
+  uint64_t exec_query(const Op& op) {
+    switch (op.kind) {
+      case OpKind::kConnected: return connected(op.u, op.v) ? 1 : 0;
+      case OpKind::kComponentSize: return component_size(op.u);
+      case OpKind::kRepresentative: return representative(op.u);
+      default: return 0;  // updates never reach the query paths
+    }
+  }
+  uint64_t exec_query_writer(const Op& op) {
+    switch (op.kind) {
+      case OpKind::kConnected: return connected_writer(op.u, op.v) ? 1 : 0;
+      case OpKind::kComponentSize: return component_size_writer(op.u);
+      case OpKind::kRepresentative: return representative_writer(op.u);
+      default: return 0;
+    }
+  }
+
   /// Writer: insert (u,v). Returns {performed=false} if already present.
   UpdateOutcome add_edge(Vertex u, Vertex v);
 

@@ -77,6 +77,19 @@ class NbHdt {
   /// Lock-free linearizable connectivity query.
   bool connected(Vertex u, Vertex v) { return forest0_->connected(u, v); }
 
+  /// Lock-free value queries (Query API v2): the F_0 root's vcount / vmin
+  /// augmentation under the same versioned double-collect as connected().
+  /// A pending spanning removal keeps both pieces chained to — and counted
+  /// at — the old root until the cut commits, so the answer reflects the
+  /// not-yet-linearized state, exactly like connected() does. Never takes
+  /// the component lock (lock_stats stays flat on this path).
+  uint64_t component_size(Vertex u) {
+    return forest0_->component_size_nonblocking(u);
+  }
+  Vertex representative(Vertex u) {
+    return forest0_->representative_nonblocking(u);
+  }
+
   /// Insert (u,v); lock-free when the endpoints are already connected.
   /// Returns false if the edge was already present (or a concurrent addition
   /// of the same edge committed first).
@@ -215,28 +228,42 @@ class NbDc final : public DynamicConnectivity {
     return hdt_.connected(u, v);
   }
 
+  /// Value queries run on the lock-free read path — the NB family's whole
+  /// point is that queries never block, and size/representative are
+  /// queries.
+  uint64_t component_size(Vertex u) override {
+    return hdt_.component_size(u);
+  }
+  Vertex representative(Vertex u) override { return hdt_.representative(u); }
+
   /// Batched path: every operation is already lock-free or fine-grained, so
   /// there is no lock to amortize — the batch runs straight against the
   /// engine (no per-op virtual dispatch) and stays fully concurrent with
   /// other threads' ops and batches (not atomic as a whole).
   BatchResult apply_batch(std::span<const Op> ops) override {
     BatchResult r;
-    r.results.resize(ops.size());
+    r.values.resize(ops.size());
     for (std::size_t i = 0; i < ops.size(); ++i) {
       const Op& op = ops[i];
-      bool value = false;
+      uint64_t value = 0;
       switch (op.kind) {
         case OpKind::kAdd:
-          value = hdt_.add_edge(op.u, op.v);
+          value = hdt_.add_edge(op.u, op.v) ? 1 : 0;
           break;
         case OpKind::kRemove:
-          value = hdt_.remove_edge(op.u, op.v);
+          value = hdt_.remove_edge(op.u, op.v) ? 1 : 0;
           break;
         case OpKind::kConnected:
-          value = hdt_.connected(op.u, op.v);
+          value = hdt_.connected(op.u, op.v) ? 1 : 0;
+          break;
+        case OpKind::kComponentSize:
+          value = hdt_.component_size(op.u);
+          break;
+        case OpKind::kRepresentative:
+          value = hdt_.representative(op.u);
           break;
       }
-      r.set(i, op.kind, value);
+      r.set_op(i, op.kind, value);
     }
     return r;
   }

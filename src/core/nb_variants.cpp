@@ -10,6 +10,8 @@ VariantCaps nb_caps() {
   VariantCaps c;
   c.native_batch = true;
   c.lock_free_reads = true;
+  c.sized_components = true;       // lock-free seqlock double-collect over
+  c.stable_representative = true;  // the root vcount/vmin augmentation
   return c;  // batches stay concurrent with other threads: not atomic_batch
 }
 

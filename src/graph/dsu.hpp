@@ -14,8 +14,8 @@ namespace condyn {
 /// validate every dynamic-connectivity variant after rebuilds.
 class Dsu {
  public:
-  explicit Dsu(Vertex n) : parent_(n), size_(n, 1), components_(n) {
-    for (Vertex i = 0; i < n; ++i) parent_[i] = i;
+  explicit Dsu(Vertex n) : parent_(n), size_(n, 1), min_(n), components_(n) {
+    for (Vertex i = 0; i < n; ++i) parent_[i] = min_[i] = i;
   }
 
   Vertex find(Vertex x) noexcept {
@@ -34,6 +34,7 @@ class Dsu {
     if (size_[a] < size_[b]) std::swap(a, b);
     parent_[b] = a;
     size_[a] += size_[b];
+    if (min_[b] < min_[a]) min_[a] = min_[b];
     --components_;
     return true;
   }
@@ -42,11 +43,16 @@ class Dsu {
 
   Vertex num_components() const noexcept { return components_; }
   Vertex component_size(Vertex x) noexcept { return size_[find(x)]; }
+  /// Canonical representative: the smallest vertex id in x's component —
+  /// the same definition as DynamicConnectivity::representative, which is
+  /// what makes this class the oracle for the value-returning Query API.
+  Vertex representative(Vertex x) noexcept { return min_[find(x)]; }
   Vertex num_vertices() const noexcept { return static_cast<Vertex>(parent_.size()); }
 
  private:
   std::vector<Vertex> parent_;
   std::vector<Vertex> size_;
+  std::vector<Vertex> min_;  ///< per-root: smallest member id
   Vertex components_;
 };
 

@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "util/random.hpp"
 
@@ -186,7 +187,20 @@ Vertex apply_delta(Vertex base, int64_t delta, Vertex num_vertices,
   return static_cast<Vertex>(v);
 }
 
+/// v1/v2 carry a <= 2 kind field; a trace holding the Query-API-v2 value
+/// kinds must be written as v3 instead of silently corrupting the payload.
+void reject_value_kinds(const Trace& t, const char* version) {
+  for (const Op& op : t.ops) {
+    if (static_cast<uint8_t>(op.kind) > 2)
+      fail(std::string("trace contains value-query ops (kind ") +
+           std::to_string(static_cast<int>(op.kind)) + "), which the " +
+           version + " format cannot represent; write v3 "
+           "(io::preferred_format)");
+  }
+}
+
 void save_trace_v1(const Trace& t, std::ostream& out) {
+  reject_value_kinds(t, "v1");
   out.write(kTraceMagic, 4);
   write_u32(out, kTraceVersionV1);
   write_u32(out, t.num_vertices);
@@ -199,9 +213,12 @@ void save_trace_v1(const Trace& t, std::ostream& out) {
   }
 }
 
-void save_trace_v2(const Trace& t, std::ostream& out) {
+/// Shared v2/v3 payload writer: the formats differ only in the width of the
+/// kind field folded into varint A (2 vs 3 bits).
+void save_trace_varint(const Trace& t, std::ostream& out, uint32_t version,
+                       int kind_bits) {
   out.write(kTraceMagic, 4);
-  write_u32(out, kTraceVersionV2);
+  write_u32(out, version);
   write_u32(out, kTraceFlagDeltaVarint);
   write_u32(out, t.num_vertices);
   write_u64(out, t.ops.size());
@@ -211,14 +228,23 @@ void save_trace_v2(const Trace& t, std::ostream& out) {
       fail("trace op addresses vertex >= num_vertices (" +
            std::to_string(op.u) + "," + std::to_string(op.v) + " vs " +
            std::to_string(t.num_vertices) + "); refusing to write an "
-           "unloadable v2 trace");
+           "unloadable v" + std::to_string(version) + " trace");
     const uint64_t du = zigzag_encode(static_cast<int64_t>(op.u) -
                                       static_cast<int64_t>(prev_u));
-    write_varint(out, (du << 2) | static_cast<uint64_t>(op.kind));
+    write_varint(out, (du << kind_bits) | static_cast<uint64_t>(op.kind));
     write_varint(out, zigzag_encode(static_cast<int64_t>(op.v) -
                                     static_cast<int64_t>(op.u)));
     prev_u = op.u;
   }
+}
+
+void save_trace_v2(const Trace& t, std::ostream& out) {
+  reject_value_kinds(t, "v2");
+  save_trace_varint(t, out, kTraceVersionV2, 2);
+}
+
+void save_trace_v3(const Trace& t, std::ostream& out) {
+  save_trace_varint(t, out, kTraceVersionV3, 3);
 }
 
 Trace load_trace_v1(std::istream& in) {
@@ -253,12 +279,16 @@ Trace load_trace_v1(std::istream& in) {
   return t;
 }
 
-Trace load_trace_v2(std::istream& in) {
+/// Shared v2/v3 payload reader: v2 packs the kind into 2 bits (max kind 2),
+/// v3 into 3 bits (max kind 4).
+Trace load_trace_varint(std::istream& in, uint32_t version, int kind_bits,
+                        unsigned max_kind) {
   const uint32_t flags = read_u32(in);
+  const std::string vname = "v" + std::to_string(version);
   if ((flags & kTraceFlagDeltaVarint) == 0)
-    fail("v2 trace missing the delta-varint payload flag");
+    fail(vname + " trace missing the delta-varint payload flag");
   if ((flags & ~kTraceFlagDeltaVarint) != 0)
-    fail("v2 trace declares unknown flags 0x" + [&] {
+    fail(vname + " trace declares unknown flags 0x" + [&] {
       std::ostringstream os;
       os << std::hex << (flags & ~kTraceFlagDeltaVarint);
       return os.str();
@@ -266,7 +296,7 @@ Trace load_trace_v2(std::istream& in) {
   Trace t;
   t.num_vertices = read_u32(in);
   const uint64_t count = read_u64(in);
-  // Same corrupt-count guard as v1, with the v2 floor of 2 bytes/op.
+  // Same corrupt-count guard as v1, with the varint floor of 2 bytes/op.
   uint64_t max_ops = 1 << 20;
   const auto pos = in.tellg();
   if (pos != std::istream::pos_type(-1)) {
@@ -277,14 +307,17 @@ Trace load_trace_v2(std::istream& in) {
       max_ops = static_cast<uint64_t>(end - pos) / 2;
   }
   t.ops.reserve(std::min(count, max_ops));
+  const uint64_t kind_mask = (uint64_t{1} << kind_bits) - 1;
   Vertex prev_u = 0;
   for (uint64_t i = 0; i < count; ++i) {
     const uint64_t tag = read_varint(in);
-    const auto kind = static_cast<unsigned>(tag & 3);
-    if (kind > 2) fail("corrupt trace: bad op kind 3");
+    const auto kind = static_cast<unsigned>(tag & kind_mask);
+    if (kind > max_kind)
+      fail("corrupt trace: bad op kind " + std::to_string(kind));
     Op op;
     op.kind = static_cast<OpKind>(kind);
-    op.u = apply_delta(prev_u, zigzag_decode(tag >> 2), t.num_vertices, "u");
+    op.u = apply_delta(prev_u, zigzag_decode(tag >> kind_bits),
+                       t.num_vertices, "u");
     op.v = apply_delta(op.u, zigzag_decode(read_varint(in)), t.num_vertices,
                        "v");
     prev_u = op.u;
@@ -300,6 +333,17 @@ Trace load_trace_v2(std::istream& in) {
 
 }  // namespace
 
+bool needs_v3(const Trace& t) noexcept {
+  for (const Op& op : t.ops) {
+    if (static_cast<uint8_t>(op.kind) > 2) return true;
+  }
+  return false;
+}
+
+TraceFormat preferred_format(const Trace& t) noexcept {
+  return needs_v3(t) ? TraceFormat::kV3 : TraceFormat::kV2;
+}
+
 void save_trace(const Trace& t, std::ostream& out, TraceFormat format) {
   switch (format) {
     case TraceFormat::kV1:
@@ -307,6 +351,9 @@ void save_trace(const Trace& t, std::ostream& out, TraceFormat format) {
       break;
     case TraceFormat::kV2:
       save_trace_v2(t, out);
+      break;
+    case TraceFormat::kV3:
+      save_trace_v3(t, out);
       break;
   }
   if (!out) fail("trace write failed");
@@ -325,7 +372,10 @@ Trace load_trace(std::istream& in) {
     fail("not a DCTR trace (bad magic)");
   const uint32_t version = read_u32(in);
   if (version == kTraceVersionV1) return load_trace_v1(in);
-  if (version == kTraceVersionV2) return load_trace_v2(in);
+  if (version == kTraceVersionV2)
+    return load_trace_varint(in, version, 2, 2);
+  if (version == kTraceVersionV3)
+    return load_trace_varint(in, version, 3, 4);
   fail("unsupported trace version " + std::to_string(version));
 }
 
@@ -347,7 +397,7 @@ TraceFileInfo trace_info_file(const std::string& path) {
   info.version = read_u32(f);
   // The header layout differs per version; re-decode from the top through
   // the strict loader so --info doubles as a validity check.
-  if (info.version == kTraceVersionV2) {
+  if (info.version == kTraceVersionV2 || info.version == kTraceVersionV3) {
     info.flags = read_u32(f);
     info.header_bytes = 4 + 4 + 4 + 4 + 8;
   } else if (info.version == kTraceVersionV1) {
@@ -366,6 +416,8 @@ TraceFileInfo trace_info_file(const std::string& path) {
       case OpKind::kAdd: ++info.adds; break;
       case OpKind::kRemove: ++info.removes; break;
       case OpKind::kConnected: ++info.queries; break;
+      case OpKind::kComponentSize: ++info.size_queries; break;
+      case OpKind::kRepresentative: ++info.rep_queries; break;
     }
   }
   info.payload_bytes = info.file_bytes - info.header_bytes;
@@ -470,6 +522,69 @@ Trace temporal_to_trace(std::vector<TemporalEdge> events,
     out.ops.push_back(Op::add(ev.u, ev.v));
     ++updates;
     maybe_probe();
+  }
+  return out;
+}
+
+Trace synthesize_reads(const Trace& in, int read_percent, bool size_queries,
+                       uint64_t seed) {
+  read_percent = std::clamp(read_percent, 0, 99);  // 100 would never emit an update
+  Trace out;
+  out.num_vertices = in.num_vertices;
+  // Worst case the output interleaves ~P/(100-P) reads per input op.
+  out.ops.reserve(read_percent > 0
+                      ? in.ops.size() * 100 / (100 - read_percent) + 1
+                      : in.ops.size());
+
+  std::vector<Edge> live;  // indexable for uniform probe sampling
+  std::unordered_map<Edge, std::size_t, EdgeHash> live_at;  // edge -> index
+  Xoshiro256 rng(seed);
+  uint64_t reads = 0;
+  uint64_t total = 0;
+  uint32_t rotate = 0;
+
+  auto emit_probe = [&] {
+    if (live.empty()) return false;
+    const Edge& a = live[rng.next_below(live.size())];
+    // Rotate probe kinds so a --size-queries mix exercises the whole value
+    // vocabulary, not just connected().
+    if (size_queries && rotate % 3 == 1) {
+      out.ops.push_back(Op::component_size(a.u));
+    } else if (size_queries && rotate % 3 == 2) {
+      out.ops.push_back(Op::representative(a.v));
+    } else {
+      const Edge& b = live[rng.next_below(live.size())];
+      out.ops.push_back(Op::connected(a.u, b.v));
+    }
+    ++rotate;
+    ++reads;
+    ++total;
+    return true;
+  };
+
+  for (const Op& op : in.ops) {
+    out.ops.push_back(op);
+    ++total;
+    if (is_query(op.kind)) {
+      ++reads;  // pass-through reads count toward the target share
+      continue;
+    }
+    const Edge e(op.u, op.v);
+    if (op.kind == OpKind::kAdd) {
+      if (live_at.emplace(e, live.size()).second) live.push_back(e);
+    } else if (const auto it = live_at.find(e); it != live_at.end()) {
+      // O(1) swap-erase: a linear scan here made read synthesis quadratic
+      // on large fully dynamic traces.
+      const std::size_t i = it->second;
+      live_at.erase(it);
+      live[i] = live.back();
+      if (i != live.size() - 1) live_at[live[i]] = i;
+      live.pop_back();
+    }
+    // Top the read share back up to the target after every update.
+    while (reads * 100 < static_cast<uint64_t>(read_percent) * (total + 1)) {
+      if (!emit_probe()) break;  // nothing live yet to probe
+    }
   }
   return out;
 }

@@ -34,7 +34,7 @@ Graph load_auto(const std::string& path);
 /// scenario can be frozen into (harness::record_trace) and replayed
 /// deterministically across variants for apples-to-apples comparisons.
 ///
-/// Two wire versions, all little-endian, shared magic "DCTR":
+/// Three wire versions, all little-endian, shared magic "DCTR":
 ///
 /// v1 (fixed 9 bytes/op, the original debug format — reader kept for
 /// back-compat, writer kept for the v1<->v2 compat tests):
@@ -58,6 +58,15 @@ Graph load_auto(const std::string& path);
 /// kind == 3, vertices outside [0, num_vertices), and op-count mismatches
 /// (payload ending early OR trailing bytes after the declared count) all
 /// throw std::runtime_error instead of yielding a silently wrong trace.
+///
+/// v3 (Query API v2): identical layout to v2 except the kind field in
+/// varint A widens to 3 bits so the value-returning query kinds fit:
+///     varint A = zigzag(u - prev_u) << 3 | kind    (kind 0..4)
+///   kind 3 = component_size(u), kind 4 = representative(u); both encode
+///   v == u (a zero varint B). kind 5..7 are rejected. v1/v2 writers refuse
+///   traces containing the new kinds (they cannot represent them);
+///   preferred_format() picks v3 only when a trace needs it, so traces of
+///   the boolean vocabulary keep the smaller v2 encoding.
 struct Trace {
   Vertex num_vertices = 0;
   std::vector<Op> ops;
@@ -68,26 +77,39 @@ struct Trace {
 inline constexpr char kTraceMagic[4] = {'D', 'C', 'T', 'R'};
 inline constexpr uint32_t kTraceVersionV1 = 1;
 inline constexpr uint32_t kTraceVersionV2 = 2;
-/// The version save_trace writes by default.
+inline constexpr uint32_t kTraceVersionV3 = 3;
+/// The version save_trace writes by default (boolean-vocabulary traces; use
+/// preferred_format() to auto-upgrade to v3 when value queries are present).
 inline constexpr uint32_t kTraceVersion = kTraceVersionV2;
-/// v2 header flag: payload is the delta+varint encoding above. The only
+/// v2/v3 header flag: payload is the delta+varint encoding above. The only
 /// flag defined so far; writers must set it, readers reject unknown bits.
 inline constexpr uint32_t kTraceFlagDeltaVarint = 1u << 0;
 
 enum class TraceFormat : uint32_t {
   kV1 = kTraceVersionV1,
   kV2 = kTraceVersionV2,
+  kV3 = kTraceVersionV3,
 };
 
-/// Writing v2 validates that every op addresses a vertex < num_vertices
-/// (a file that would fail its own strict reload is a bug at write time).
+/// True when the trace contains ops only v3 can encode (component-size /
+/// representative queries).
+bool needs_v3(const Trace& t) noexcept;
+
+/// The most compatible format able to hold the trace: v2 for the boolean
+/// vocabulary, v3 when value queries are present.
+TraceFormat preferred_format(const Trace& t) noexcept;
+
+/// Writing v2/v3 validates that every op addresses a vertex < num_vertices
+/// (a file that would fail its own strict reload is a bug at write time);
+/// v1/v2 additionally refuse ops of the value-query kinds they cannot
+/// represent.
 void save_trace(const Trace& t, std::ostream& out,
                 TraceFormat format = TraceFormat::kV2);
 void save_trace_file(const Trace& t, const std::string& path,
                      TraceFormat format = TraceFormat::kV2);
 
-/// Version-dispatching reader (v1 and v2). Throws std::runtime_error on bad
-/// magic, unknown version or flags, truncation, bad op codes, vertex
+/// Version-dispatching reader (v1, v2 and v3). Throws std::runtime_error on
+/// bad magic, unknown version or flags, truncation, bad op codes, vertex
 /// overflow, or op-count mismatch (see the format comment above).
 Trace load_trace(std::istream& in);
 Trace load_trace_file(const std::string& path);
@@ -101,7 +123,9 @@ struct TraceFileInfo {
   uint64_t ops = 0;
   uint64_t adds = 0;
   uint64_t removes = 0;
-  uint64_t queries = 0;
+  uint64_t queries = 0;        ///< connected(u, v) probes
+  uint64_t size_queries = 0;   ///< component_size(u) probes (v3 only)
+  uint64_t rep_queries = 0;    ///< representative(u) probes (v3 only)
   uint64_t file_bytes = 0;
   uint64_t header_bytes = 0;
   uint64_t payload_bytes = 0;
@@ -149,5 +173,16 @@ struct ConvertOptions {
 /// endpoint seen.
 Trace temporal_to_trace(std::vector<TemporalEdge> events,
                         const ConvertOptions& opts = {});
+
+/// Synthesize the paper's read-heavy mixes from an update stream
+/// (trace_convert --reads P): walk the input ops maintaining the live edge
+/// set, and interleave query probes after updates until reads make up
+/// `read_percent` of the output. Probes target endpoints of random live
+/// edges (seeded); with `size_queries`, probes rotate through
+/// connected / component_size / representative — the resulting trace then
+/// needs the v3 wire format (preferred_format). Existing queries in the
+/// input are passed through and counted toward the read share.
+Trace synthesize_reads(const Trace& in, int read_percent, bool size_queries,
+                       uint64_t seed);
 
 }  // namespace condyn::io

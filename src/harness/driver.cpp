@@ -46,6 +46,7 @@ class SpinBarrier {
 
 struct ThreadTotals {
   uint64_t ops = 0;
+  uint64_t by_kind[kNumOpKinds] = {};  ///< measured ops split by OpKind
   op_stats::Counters op_counters;
   lock_stats::Counters lock_counters;
   pool_stats::Counters mem_counters;
@@ -71,6 +72,8 @@ RunResult combine(std::vector<ThreadTotals>& totals, double elapsed_ms,
   uint64_t batch_ns_max = 0;
   for (const ThreadTotals& t : totals) {
     r.total_ops += t.ops;
+    for (std::size_t k = 0; k < kNumOpKinds; ++k)
+      r.ops_by_kind[k] += t.by_kind[k];
     r.op_counters += t.op_counters;
     r.mem_counters += t.mem_counters;
     r.lock_counters.wait_ns += t.lock_counters.wait_ns;
@@ -123,17 +126,11 @@ RunResult combine(std::vector<ThreadTotals>& totals, double elapsed_ms,
 }
 
 void exec_op(DynamicConnectivity& dc, const Op& op) {
-  switch (op.kind) {
-    case OpKind::kConnected:
-      dc.connected(op.u, op.v);
-      break;
-    case OpKind::kAdd:
-      dc.add_edge(op.u, op.v);
-      break;
-    case OpKind::kRemove:
-      dc.remove_edge(op.u, op.v);
-      break;
-  }
+  exec_single(dc, op);  // the one per-kind dispatch (api header)
+}
+
+void count_kind(ThreadTotals& t, OpKind kind) noexcept {
+  ++t.by_kind[static_cast<std::size_t>(kind)];
 }
 
 /// Refill `buf` with up to buf.capacity-of-batch ops; returns the filled
@@ -186,6 +183,7 @@ RunResult run_timed(const ScenarioInfo& s, DynamicConnectivity& dc,
           dc.apply_batch(buf);
           const uint64_t ns = lock_stats::now_ns() - b0;
           mine.ops += n;
+          for (const Op& o : buf) count_kind(mine, o.kind);
           ++mine.batches;
           mine.batch_ns_total += ns;
           mine.batch_ns_max = std::max(mine.batch_ns_max, ns);
@@ -195,10 +193,12 @@ RunResult run_timed(const ScenarioInfo& s, DynamicConnectivity& dc,
           exec_op(dc, op);
           mine.latency_ns.push_back(clamped_ns(lock_stats::now_ns() - t0));
           ++mine.ops;
+          count_kind(mine, op.kind);
         } else {
           if (!stream->next(op)) break;
           exec_op(dc, op);
           ++mine.ops;
+          count_kind(mine, op.kind);
         }
       }
       mine.op_counters = op_stats::local();
@@ -244,6 +244,7 @@ RunResult run_finite(const ScenarioInfo& s, DynamicConnectivity& dc,
           dc.apply_batch(buf);
           const uint64_t ns = lock_stats::now_ns() - b0;
           mine.ops += n;
+          for (const Op& o : buf) count_kind(mine, o.kind);
           ++mine.batches;
           mine.batch_ns_total += ns;
           mine.batch_ns_max = std::max(mine.batch_ns_max, ns);
@@ -255,12 +256,14 @@ RunResult run_finite(const ScenarioInfo& s, DynamicConnectivity& dc,
           exec_op(dc, op);
           mine.latency_ns.push_back(clamped_ns(lock_stats::now_ns() - b0));
           ++mine.ops;
+          count_kind(mine, op.kind);
         }
       } else {
         Op op;
         while (stream->next(op)) {
           exec_op(dc, op);
           ++mine.ops;
+          count_kind(mine, op.kind);
         }
       }
       mine.op_counters = op_stats::local();

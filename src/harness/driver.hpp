@@ -48,6 +48,17 @@ struct RunResult {
   double active_time_percent = 100;  ///< 100 * (1 - lock-wait share)
   uint64_t total_ops = 0;
   double elapsed_ms = 0;
+  /// Completed operations by OpKind (indexed by static_cast<size_t>(kind)):
+  /// the per-kind view behind bench_suite's per-kind throughput columns —
+  /// a size-query mix reports how many of its ops were component_size /
+  /// representative probes, not just a total.
+  uint64_t ops_by_kind[kNumOpKinds] = {};
+  /// Per-kind throughput (completed ops of `kind` per millisecond).
+  double kind_per_ms(OpKind kind) const noexcept {
+    return elapsed_ms > 0
+               ? ops_by_kind[static_cast<std::size_t>(kind)] / elapsed_ms
+               : 0;
+  }
   op_stats::Counters op_counters;       ///< summed over worker threads
   lock_stats::Counters lock_counters;   ///< summed over worker threads
   pool_stats::Counters mem_counters;    ///< summed over worker threads

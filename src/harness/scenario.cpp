@@ -199,6 +199,56 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
           return std::make_unique<VectorOpStream>(
               edge_partition(trace->ops, t, cfg.threads));
         });
+
+  // --- Query API v2 scenarios ----------------------------------------------
+
+  ScenarioCaps sizeq_caps = random_caps;
+  r.add("size-query",
+        "read-heavy value-query mix: reads rotate connected / component_size "
+        "/ representative over a churning edge set (Query API v2)",
+        sizeq_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<SizeQueryStream>(g, cfg.read_percent,
+                                                   thread_seed(cfg, t));
+        });
+
+  ScenarioCaps bulk_caps;
+  bulk_caps.batched = true;
+  bulk_caps.prefill = Prefill::kHalf;
+  r.add("bulk-connected",
+        "pure connectivity-pair queries submitted as apply_batch calls "
+        "(\"answer these 10k pairs at once\"); read-only batches hit the "
+        "variants' pure-read exemption",
+        bulk_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          // 100% reads: every batch is query-only regardless of
+          // cfg.read_percent.
+          return std::make_unique<RandomOpStream>(g, 100,
+                                                  thread_seed(cfg, t));
+        });
+
+  // Batched variants of the skewed scenarios (ROADMAP follow-on): whether
+  // combining wins grow under contention is only measurable if the
+  // contended mixes can be driven through apply_batch too.
+  ScenarioCaps bzipf_caps = zipf_caps;
+  bzipf_caps.batched = true;
+  r.add("batch-zipfian",
+        "the zipfian hot-edge mix submitted as apply_batch calls of "
+        "batch_size ops",
+        bzipf_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<ZipfianOpStream>(g, cfg.read_percent,
+                                                   cfg.seed, t,
+                                                   cfg.zipf_theta);
+        });
+
+  ScenarioCaps bwin_caps = slide_caps;
+  bwin_caps.batched = true;
+  r.add("batch-window",
+        "the sliding-window churn submitted as apply_batch calls of "
+        "batch_size ops",
+        bwin_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<SlidingWindowStream>(
+              stripe(g.edges(), t, cfg.threads), cfg.read_percent,
+              thread_seed(cfg, t), cfg.window_fraction);
+        });
 }
 
 std::vector<Op> prefill_ops(Prefill p, const Graph& g, uint64_t seed) {
@@ -231,28 +281,17 @@ io::Trace record_trace(const ScenarioInfo& s, const Graph& g,
 void record_trace_file(const ScenarioInfo& s, const Graph& g,
                        const RunConfig& cfg, std::size_t max_ops,
                        const std::string& path) {
-  io::save_trace_file(record_trace(s, g, cfg, max_ops), path);
+  const io::Trace t = record_trace(s, g, cfg, max_ops);
+  // v2 for the boolean vocabulary, v3 as soon as a scenario (size-query)
+  // emits value-returning ops — the writer refuses the lossy downgrade.
+  io::save_trace_file(t, path, io::preferred_format(t));
 }
 
-std::vector<uint8_t> replay_trace(DynamicConnectivity& dc,
-                                  std::span<const Op> ops) {
-  std::vector<uint8_t> results;
+std::vector<uint64_t> replay_trace(DynamicConnectivity& dc,
+                                   std::span<const Op> ops) {
+  std::vector<uint64_t> results;
   results.reserve(ops.size());
-  for (const Op& op : ops) {
-    bool r = false;
-    switch (op.kind) {
-      case OpKind::kAdd:
-        r = dc.add_edge(op.u, op.v);
-        break;
-      case OpKind::kRemove:
-        r = dc.remove_edge(op.u, op.v);
-        break;
-      case OpKind::kConnected:
-        r = dc.connected(op.u, op.v);
-        break;
-    }
-    results.push_back(r ? 1 : 0);
-  }
+  for (const Op& op : ops) results.push_back(exec_single(dc, op));
   return results;
 }
 

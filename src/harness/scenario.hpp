@@ -72,7 +72,7 @@ class ScenarioRegistry {
   int add(const char* name, const char* description, ScenarioCaps caps,
           StreamFactory make_stream);
 
-  /// Capacity bound: 9 built-ins plus room for custom scenarios.
+  /// Capacity bound: 14 built-ins plus room for custom scenarios.
   static constexpr std::size_t kReserved = 24;
 
   const std::vector<ScenarioInfo>& scenarios() const noexcept {
@@ -110,10 +110,12 @@ void record_trace_file(const ScenarioInfo& s, const Graph& g,
                        const RunConfig& cfg, std::size_t max_ops,
                        const std::string& path);
 
-/// Sequentially apply a recorded op stream, returning each op's boolean
-/// result (0/1, indexed like `ops`). Deterministic: two correct variants
-/// must produce identical vectors for the same trace.
-std::vector<uint8_t> replay_trace(DynamicConnectivity& dc,
-                                  std::span<const Op> ops);
+/// Sequentially apply a recorded op stream, returning each op's raw value
+/// (0/1 for the boolean kinds, size / representative for the value kinds;
+/// indexed like `ops`). Deterministic: two correct variants must produce
+/// identical vectors for the same trace — the representative is canonical
+/// (smallest member id), so even value queries compare across variants.
+std::vector<uint64_t> replay_trace(DynamicConnectivity& dc,
+                                   std::span<const Op> ops);
 
 }  // namespace condyn::harness

@@ -111,6 +111,44 @@ class RandomBatchStream {
   std::vector<Op> batch_;
 };
 
+/// Read-heavy mix over the value-returning query vocabulary (the
+/// `size-query` scenario): like RandomOpStream, each draw picks a uniform
+/// random graph edge; reads rotate connected -> component_size ->
+/// representative so every query kind carries ~a third of the read share,
+/// while updates keep the independent add/remove coin. The workload a
+/// connectivity *service* sees: "how big is this community, who represents
+/// it, are these two users together" over a churning edge set.
+class SizeQueryStream final : public OpStream {
+ public:
+  SizeQueryStream(const Graph& g, int read_percent, uint64_t seed)
+      : edges_(&g.edges()),
+        read_percent_(read_percent < 0 ? 0
+                                       : (read_percent > 100 ? 100
+                                                             : read_percent)),
+        rng_(seed) {}
+
+  bool next(Op& op) override {
+    if (edges_->empty()) return false;
+    const Edge& e = (*edges_)[rng_.next_below(edges_->size())];
+    if (rng_.next_below(100) >= static_cast<uint64_t>(read_percent_)) {
+      op = rng_.next_below(2) == 0 ? Op::add(e.u, e.v) : Op::remove(e.u, e.v);
+      return true;
+    }
+    switch (rotate_++ % 3) {
+      case 0: op = Op::connected(e.u, e.v); break;
+      case 1: op = Op::component_size(e.u); break;
+      default: op = Op::representative(e.v); break;
+    }
+    return true;
+  }
+
+ private:
+  const std::vector<Edge>* edges_;
+  int read_percent_;
+  uint32_t rotate_ = 0;
+  Xoshiro256 rng_;
+};
+
 /// Finite stream over a pre-materialized program; the incremental,
 /// decremental and trace-replay scenarios are all instances of this.
 class VectorOpStream final : public OpStream {

@@ -1,0 +1,64 @@
+#pragma once
+
+// Shared sequential reference for the full Query API v2 vocabulary, used by
+// test_batch, test_scenarios, test_trace_v2 and test_query_api: a
+// present-edge set mirrors the single-op update return values, and queries
+// rebuild a DSU (graph/dsu.hpp — extended with size and min-id
+// representative tracking) over the live edges. apply() returns the same
+// raw values the API returns: 0/1 for the boolean kinds, the component size
+// for kComponentSize, and the canonical (smallest-id) representative for
+// kRepresentative — which is exactly the API's contract, so oracle values
+// are directly comparable across every variant.
+
+#include <set>
+#include <vector>
+
+#include "api/dynamic_connectivity.hpp"
+#include "graph/dsu.hpp"
+
+namespace condyn::testutil {
+
+class QueryOracle {
+ public:
+  explicit QueryOracle(Vertex n) : n_(n) {}
+
+  uint64_t apply(const Op& op) {
+    switch (op.kind) {
+      case OpKind::kAdd:
+        return (op.u != op.v && present_.insert(Edge(op.u, op.v)).second) ? 1
+                                                                          : 0;
+      case OpKind::kRemove:
+        return (op.u != op.v && present_.erase(Edge(op.u, op.v)) != 0) ? 1
+                                                                       : 0;
+      case OpKind::kConnected:
+        return (op.u == op.v || rebuild().connected(op.u, op.v)) ? 1 : 0;
+      case OpKind::kComponentSize:
+        return rebuild().component_size(op.u);
+      case OpKind::kRepresentative:
+        return rebuild().representative(op.u);
+    }
+    return 0;
+  }
+
+  /// The oracle's answer vector for a whole program (replay_trace shape).
+  std::vector<uint64_t> replay(std::span<const Op> ops) {
+    std::vector<uint64_t> out;
+    out.reserve(ops.size());
+    for (const Op& op : ops) out.push_back(apply(op));
+    return out;
+  }
+
+  const std::set<Edge>& present() const noexcept { return present_; }
+
+ private:
+  Dsu rebuild() const {
+    Dsu dsu(n_);
+    for (const Edge& e : present_) dsu.unite(e.u, e.v);
+    return dsu;
+  }
+
+  Vertex n_;
+  std::set<Edge> present_;
+};
+
+}  // namespace condyn::testutil

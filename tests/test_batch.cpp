@@ -1,8 +1,9 @@
 // Batch-pipeline coverage: apply_batch on every registered variant must be
 // equivalent to applying the ops in index order, cross-checked against the
-// sequential DSU oracle (src/graph/dsu.hpp) — including mixed batches,
-// duplicate edges inside one batch, self-loops, and pure-read batches — and
-// the registry's capability flags must match observable behavior.
+// sequential DSU oracle (tests/query_oracle.hpp) — including mixed batches
+// over the full value-returning vocabulary, duplicate edges inside one
+// batch, self-loops, and pure-read batches — and the registry's capability
+// flags must match observable behavior.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -10,39 +11,13 @@
 #include <vector>
 
 #include "api/factory.hpp"
-#include "graph/dsu.hpp"
+#include "query_oracle.hpp"
 #include "util/random.hpp"
 
 namespace condyn {
 namespace {
 
-/// Sequential reference that mirrors the single-op API: a present-edge set
-/// for update return values, a DSU rebuild for queries.
-class Oracle {
- public:
-  explicit Oracle(Vertex n) : n_(n) {}
-
-  bool apply(const Op& op) {
-    if (op.u == op.v) return op.kind == OpKind::kConnected;
-    const Edge e(op.u, op.v);
-    switch (op.kind) {
-      case OpKind::kAdd:
-        return present_.insert(e).second;
-      case OpKind::kRemove:
-        return present_.erase(e) != 0;
-      case OpKind::kConnected: {
-        Dsu dsu(n_);
-        for (const Edge& pe : present_) dsu.unite(pe.u, pe.v);
-        return dsu.connected(op.u, op.v);
-      }
-    }
-    return false;
-  }
-
- private:
-  Vertex n_;
-  std::set<Edge> present_;
-};
+using testing_oracle = condyn::testutil::QueryOracle;
 
 std::vector<Op> random_program(Vertex n, int len, uint64_t seed) {
   Xoshiro256 rng(seed);
@@ -51,12 +26,18 @@ std::vector<Op> random_program(Vertex n, int len, uint64_t seed) {
   for (int i = 0; i < len; ++i) {
     const Vertex a = static_cast<Vertex>(rng.next_below(n));
     const Vertex b = static_cast<Vertex>(rng.next_below(n));  // loops allowed
-    switch (rng.next_below(3)) {
+    switch (rng.next_below(5)) {
       case 0:
         ops.push_back(Op::add(a, b));
         break;
       case 1:
         ops.push_back(Op::remove(a, b));
+        break;
+      case 2:
+        ops.push_back(Op::component_size(a));
+        break;
+      case 3:
+        ops.push_back(Op::representative(a));
         break;
       default:
         ops.push_back(Op::connected(a, b));
@@ -70,7 +51,7 @@ class BatchVariants : public ::testing::TestWithParam<int> {};
 TEST_P(BatchVariants, MixedBatchesMatchDsuOracle) {
   const Vertex n = 40;
   auto dc = make_variant(GetParam(), n);
-  Oracle oracle(n);
+  testing_oracle oracle(n);
   const std::vector<Op> program = random_program(n, 1200, 29);
   // Sweep batch sizes, including 1 (degenerate) and a size that does not
   // divide the program length (remainder batch).
@@ -86,15 +67,16 @@ TEST_P(BatchVariants, MixedBatchesMatchDsuOracle) {
     ASSERT_EQ(r.size(), bs);
     uint64_t adds = 0, removes = 0, queries = 0;
     for (std::size_t i = 0; i < bs; ++i) {
-      const bool expected = oracle.apply(batch[i]);
-      EXPECT_EQ(r.result(i), expected)
+      const uint64_t expected = oracle.apply(batch[i]);
+      EXPECT_EQ(r.value(i), expected)
           << "op " << pos + i << " kind " << static_cast<int>(batch[i].kind)
           << " (" << batch[i].u << "," << batch[i].v << ")";
-      if (r.result(i)) {
+      if (r.value(i) != 0) {
         switch (batch[i].kind) {
           case OpKind::kAdd: ++adds; break;
           case OpKind::kRemove: ++removes; break;
           case OpKind::kConnected: ++queries; break;
+          default: break;  // value kinds carry no summary counter
         }
       }
     }
@@ -108,19 +90,24 @@ TEST_P(BatchVariants, MixedBatchesMatchDsuOracle) {
 TEST_P(BatchVariants, DuplicateEdgesWithinOneBatch) {
   auto dc = make_variant(GetParam(), 8);
   const std::vector<Op> batch = {
-      Op::add(1, 2),        // performed
-      Op::add(2, 1),        // canonical duplicate -> false
-      Op::connected(1, 2),  // true
-      Op::remove(1, 2),     // performed
-      Op::remove(1, 2),     // already gone -> false
-      Op::add(1, 2),        // re-add -> performed
-      Op::add(3, 3),        // self-loop -> false
-      Op::connected(1, 2),  // true again
-      Op::connected(1, 3),  // false
+      Op::add(1, 2),            // performed
+      Op::add(2, 1),            // canonical duplicate -> false
+      Op::connected(1, 2),      // true
+      Op::component_size(2),    // {1, 2} -> 2
+      Op::representative(2),    // min member -> 1
+      Op::remove(1, 2),         // performed
+      Op::remove(1, 2),         // already gone -> false
+      Op::add(1, 2),            // re-add -> performed
+      Op::add(3, 3),            // self-loop -> false
+      Op::connected(1, 2),      // true again
+      Op::connected(1, 3),      // false
+      Op::component_size(3),    // isolated -> 1
+      Op::representative(3),    // itself
   };
   const BatchResult r = dc->apply_batch(batch);
-  const std::vector<uint8_t> expected = {1, 0, 1, 1, 0, 1, 0, 1, 0};
-  EXPECT_EQ(r.results, expected);
+  const std::vector<uint64_t> expected = {1, 0, 1, 2, 1, 1, 0, 1, 0, 1, 0,
+                                          1, 3};
+  EXPECT_EQ(r.values, expected);
   EXPECT_EQ(r.adds_performed, 2u);
   EXPECT_EQ(r.removes_performed, 1u);
   EXPECT_EQ(r.queries_true, 2u);
@@ -131,11 +118,14 @@ TEST_P(BatchVariants, EmptyAndPureReadBatches) {
   EXPECT_EQ(dc->apply_batch({}).size(), 0u);
   dc->add_edge(0, 1);
   dc->add_edge(1, 2);
+  // Pure-read batches now mix the whole query vocabulary and must still hit
+  // the variants' pure-read exemption (no update synchronization).
   const std::vector<Op> reads = {Op::connected(0, 2), Op::connected(0, 3),
-                                 Op::connected(4, 4)};
+                                 Op::connected(4, 4), Op::component_size(1),
+                                 Op::representative(2)};
   const BatchResult r = dc->apply_batch(reads);
-  const std::vector<uint8_t> expected = {1, 0, 1};
-  EXPECT_EQ(r.results, expected);
+  const std::vector<uint64_t> expected = {1, 0, 1, 3, 0};
+  EXPECT_EQ(r.values, expected);
   EXPECT_EQ(r.queries_true, 2u);
 }
 
@@ -150,17 +140,19 @@ TEST_P(BatchVariants, ConcurrentDisjointRegionBatches) {
   std::vector<std::thread> workers;
   for (unsigned w = 0; w < kWorkers; ++w) {
     workers.emplace_back([&, w] {
-      Oracle oracle(kRegion * kWorkers);
+      testing_oracle oracle(kRegion * kWorkers);
       std::vector<Op> program = random_program(kRegion, 600, 101 + w);
       for (Op& op : program) {  // shift into this worker's region
         op.u += w * kRegion;
         op.v += w * kRegion;
       }
+      // Shift the oracle too: component sizes / representatives are
+      // region-absolute (representatives name real vertex ids).
       for (std::size_t pos = 0; pos < program.size(); pos += 50) {
         const std::span<const Op> batch(&program[pos], 50);
         const BatchResult r = dc->apply_batch(batch);
         for (std::size_t i = 0; i < batch.size(); ++i) {
-          if (r.result(i) != oracle.apply(batch[i])) {
+          if (r.value(i) != oracle.apply(batch[i])) {
             errors[w].push_back("mismatch at op " + std::to_string(pos + i));
           }
         }
@@ -180,6 +172,9 @@ TEST(BatchRegistry, CapsAreDeclaredForBuiltins) {
   for (const VariantInfo& v : all_variants()) {
     EXPECT_TRUE(v.caps.native_batch) << v.name;
     EXPECT_TRUE(static_cast<bool>(v.make)) << v.name;
+    // Query API v2: every built-in answers value queries natively.
+    EXPECT_TRUE(v.caps.sized_components) << v.name;
+    EXPECT_TRUE(v.caps.stable_representative) << v.name;
   }
   // Spot-check flags the harness branches on.
   EXPECT_TRUE(find_variant("coarse")->caps.atomic_batch);

@@ -375,6 +375,8 @@ TEST(NbConcurrent, ZipfianChurnMatchesOracle) {
           case OpKind::kConnected:
             dc.connected(op.u, op.v);
             break;
+          default:
+            break;  // the zipfian stream emits no value queries
         }
       }
     });

@@ -14,46 +14,19 @@
 #include <string>
 
 #include "api/factory.hpp"
-#include "graph/dsu.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "harness/driver.hpp"
 #include "harness/scenario.hpp"
 #include "harness/workload.hpp"
+#include "query_oracle.hpp"
 
 namespace condyn {
 namespace {
 
 using harness::RunConfig;
 using harness::ScenarioInfo;
-
-/// Sequential reference mirroring the single-op API: a present-edge set for
-/// update return values, a DSU rebuild for queries (as in test_batch.cpp).
-class Oracle {
- public:
-  explicit Oracle(Vertex n) : n_(n) {}
-
-  bool apply(const Op& op) {
-    if (op.u == op.v) return op.kind == OpKind::kConnected;
-    const Edge e(op.u, op.v);
-    switch (op.kind) {
-      case OpKind::kAdd:
-        return present_.insert(e).second;
-      case OpKind::kRemove:
-        return present_.erase(e) != 0;
-      case OpKind::kConnected: {
-        Dsu dsu(n_);
-        for (const Edge& pe : present_) dsu.unite(pe.u, pe.v);
-        return dsu.connected(op.u, op.v);
-      }
-    }
-    return false;
-  }
-
- private:
-  Vertex n_;
-  std::set<Edge> present_;
-};
+using Oracle = condyn::testutil::QueryOracle;
 
 RunConfig tiny_config() {
   RunConfig cfg;
@@ -82,7 +55,7 @@ Graph tiny_graph() { return gen::erdos_renyi(24, 60, 3); }
 
 TEST(ScenarioRegistry, EnumeratesTheBuiltins) {
   const auto& scenarios = harness::all_scenarios();
-  EXPECT_GE(scenarios.size(), 10u);
+  EXPECT_GE(scenarios.size(), 14u);
   // Ids are sequential in registration order, names unique.
   std::set<std::string> names;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -92,7 +65,8 @@ TEST(ScenarioRegistry, EnumeratesTheBuiltins) {
   for (const char* name :
        {"random", "incremental", "decremental", "batch-random",
         "batch-incremental", "zipfian", "sliding-window", "component-local",
-        "trace-replay", "trace-replay-dep"}) {
+        "trace-replay", "trace-replay-dep", "size-query", "bulk-connected",
+        "batch-zipfian", "batch-window"}) {
     const ScenarioInfo* s = harness::find_scenario(name);
     ASSERT_NE(s, nullptr) << name;
     EXPECT_STREQ(s->name, name);
@@ -110,6 +84,56 @@ TEST(ScenarioRegistry, EnumeratesTheBuiltins) {
   EXPECT_FALSE(harness::find_scenario("trace-replay")->caps.tracks_latency);
   EXPECT_EQ(harness::find_scenario("decremental")->caps.prefill,
             harness::Prefill::kFull);
+  // Query API v2 scenarios.
+  EXPECT_TRUE(harness::find_scenario("size-query")->caps.uses_read_percent);
+  EXPECT_FALSE(harness::find_scenario("size-query")->caps.batched);
+  EXPECT_TRUE(harness::find_scenario("bulk-connected")->caps.batched);
+  EXPECT_FALSE(harness::find_scenario("bulk-connected")->caps.uses_read_percent);
+  EXPECT_TRUE(harness::find_scenario("batch-zipfian")->caps.batched);
+  EXPECT_TRUE(harness::find_scenario("batch-window")->caps.batched);
+  EXPECT_EQ(harness::find_scenario("bulk-connected")->caps.prefill,
+            harness::Prefill::kHalf);
+}
+
+TEST(ScenarioStreams, SizeQueryMixRotatesTheQueryVocabulary) {
+  const Graph g = tiny_graph();
+  harness::SizeQueryStream stream(g, 60, 21);
+  uint64_t counts[kNumOpKinds] = {};
+  Op op;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) {
+    ASSERT_TRUE(stream.next(op));
+    ++counts[static_cast<std::size_t>(op.kind)];
+    EXPECT_LT(op.u, g.num_vertices());
+    EXPECT_LT(op.v, g.num_vertices());
+    if (op.kind == OpKind::kComponentSize ||
+        op.kind == OpKind::kRepresentative) {
+      EXPECT_EQ(op.u, op.v);  // single-vertex ops keep v == u
+    }
+  }
+  const auto reads = counts[2] + counts[3] + counts[4];
+  EXPECT_NEAR(reads * 100.0 / kDraws, 60.0, 1.5);
+  // The rotation splits reads roughly in thirds across the vocabulary.
+  for (std::size_t k = 2; k < kNumOpKinds; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]), reads / 3.0, reads * 0.05)
+        << "kind " << k;
+  }
+  EXPECT_GT(counts[0], 0u);  // adds
+  EXPECT_GT(counts[1], 0u);  // removes
+}
+
+TEST(ScenarioStreams, BulkConnectedIsPureQueries) {
+  const Graph g = tiny_graph();
+  const ScenarioInfo* s = harness::find_scenario("bulk-connected");
+  ASSERT_NE(s, nullptr);
+  RunConfig cfg = tiny_config();
+  cfg.read_percent = 0;  // must be ignored: the scenario is queries-only
+  auto stream = s->make_stream(g, cfg, 0);
+  Op op;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(stream->next(op));
+    EXPECT_EQ(op.kind, OpKind::kConnected) << "op " << i;
+  }
 }
 
 TEST(ScenarioRegistry, RejectsDuplicateNames) {
@@ -414,10 +438,8 @@ TEST(ScenarioOracle, EveryScenarioEveryVariantMatchesDsuOracle) {
     // replay against the sequential oracle op by op.
     const io::Trace t = harness::record_trace(s, g, cfg, 250);
     ASSERT_FALSE(t.ops.empty()) << s.name;
-    std::vector<uint8_t> expected;
-    expected.reserve(t.ops.size());
     Oracle oracle(g.num_vertices());
-    for (const Op& op : t.ops) expected.push_back(oracle.apply(op) ? 1 : 0);
+    const std::vector<uint64_t> expected = oracle.replay(t.ops);
     for (const VariantInfo& v : all_variants()) {
       auto dc = v.make(g.num_vertices(), true);
       const auto got = harness::replay_trace(*dc, t.ops);
@@ -436,7 +458,10 @@ TEST(ScenarioDriver, EveryScenarioRunsConcurrently) {
   const Graph g = gen::erdos_renyi(80, 240, 5);
   RunConfig cfg = tiny_config();
   cfg.threads = 2;
-  cfg.measure_ms = 10;
+  // Wide enough that even under TSan's ~10x slowdown plus a parallel test
+  // binary, every timed scenario completes at least one batch/op in the
+  // window (a 10 ms window flaked there).
+  cfg.measure_ms = 50;
   cfg.trace_path = shared_trace_path(tiny_graph());
   for (const ScenarioInfo& s : harness::all_scenarios()) {
     auto dc = make_variant(9, s.caps.needs_trace ? tiny_graph().num_vertices()

@@ -15,9 +15,9 @@
 #include <vector>
 
 #include "api/factory.hpp"
-#include "graph/dsu.hpp"
 #include "graph/io.hpp"
 #include "harness/scenario.hpp"
+#include "query_oracle.hpp"
 #include "util/random.hpp"
 
 namespace condyn {
@@ -77,32 +77,27 @@ uint64_t trace_fnv(const io::Trace& t) {
   return h;
 }
 
-/// Sequential single-op reference (as in test_scenarios.cpp).
-class Oracle {
- public:
-  explicit Oracle(Vertex n) : n_(n) {}
+/// Sequential single-op reference over the full value vocabulary.
+using Oracle = condyn::testutil::QueryOracle;
 
-  bool apply(const Op& op) {
-    if (op.u == op.v) return op.kind == OpKind::kConnected;
-    const Edge e(op.u, op.v);
-    switch (op.kind) {
-      case OpKind::kAdd:
-        return present_.insert(e).second;
-      case OpKind::kRemove:
-        return present_.erase(e) != 0;
-      case OpKind::kConnected: {
-        Dsu dsu(n_);
-        for (const Edge& pe : present_) dsu.unite(pe.u, pe.v);
-        return dsu.connected(op.u, op.v);
-      }
-    }
-    return false;
+/// A program exercising all five op kinds (the v3 vocabulary).
+io::Trace random_value_trace(Vertex n, std::size_t ops, uint64_t seed) {
+  io::Trace t;
+  t.num_vertices = n;
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    auto v = static_cast<Vertex>(rng.next_below(n - 1));
+    if (v >= u) ++v;
+    const uint64_t roll = rng.next_below(100);
+    t.ops.push_back(roll < 35   ? Op::add(u, v)
+                    : roll < 55 ? Op::remove(u, v)
+                    : roll < 75 ? Op::connected(u, v)
+                    : roll < 88 ? Op::component_size(u)
+                                : Op::representative(u));
   }
-
- private:
-  Vertex n_;
-  std::set<Edge> present_;
-};
+  return t;
+}
 
 TEST(TraceV2, RoundTripsArbitraryOpMixes) {
   for (const uint64_t seed : {1ull, 99ull}) {
@@ -173,9 +168,9 @@ TEST(TraceV2, RejectsCorruptedHeaders) {
     std::stringstream ss(b);
     EXPECT_THROW(io::load_trace(ss), std::runtime_error);
   }
-  {  // unknown version
+  {  // unknown version (3 is v3 now — 9 stays unassigned)
     std::string b = good;
-    b[4] = 3;
+    b[4] = 9;
     std::stringstream ss(b);
     EXPECT_THROW(io::load_trace(ss), std::runtime_error);
   }
@@ -309,6 +304,38 @@ TEST(GoldenTrace, BothVersionsDecodeToThePinnedOps) {
   }
 }
 
+// The v3 golden trace pins the widened-kind wire format the same way:
+// generated once from random_value_trace(64, 400, 2026), checked in, and
+// guarded by an FNV pin + byte-exact re-encode + oracle replay.
+constexpr const char* kGoldenV3Path = "tests/data/golden_v3.dctr";
+constexpr uint64_t kGoldenV3Fnv = 0xee58f71dbb7d7c72ULL;
+
+TEST(GoldenTrace, V3DecodesToThePinnedOps) {
+  const io::Trace t = io::load_trace_file(source_path(kGoldenV3Path));
+  EXPECT_EQ(t.num_vertices, kGoldenVertices);
+  ASSERT_EQ(t.ops.size(), kGoldenOps);
+  EXPECT_EQ(trace_fnv(t), kGoldenV3Fnv);
+  EXPECT_TRUE(io::needs_v3(t));
+  // Byte-exact re-encode: encoder drift fails here.
+  EXPECT_EQ(bytes_of(t, io::TraceFormat::kV3),
+            file_bytes(source_path(kGoldenV3Path)));
+  const io::TraceFileInfo info = io::trace_info_file(source_path(kGoldenV3Path));
+  EXPECT_EQ(info.version, io::kTraceVersionV3);
+  EXPECT_EQ(info.ops, kGoldenOps);
+  EXPECT_GT(info.size_queries, 0u);
+  EXPECT_GT(info.rep_queries, 0u);
+}
+
+TEST(GoldenTrace, V3ReplaysAgainstTheDsuOracleOnEveryVariant) {
+  const io::Trace t = io::load_trace_file(source_path(kGoldenV3Path));
+  Oracle oracle(t.num_vertices);
+  const std::vector<uint64_t> expected = oracle.replay(t.ops);
+  for (const VariantInfo& v : all_variants()) {
+    auto dc = v.make(t.num_vertices, true);
+    EXPECT_EQ(harness::replay_trace(*dc, t.ops), expected) << v.name;
+  }
+}
+
 TEST(GoldenTrace, WritersReproduceTheCheckedInBytes) {
   // Encoder drift detector: saving the golden ops must reproduce the
   // checked-in files byte for byte, in both formats.
@@ -321,13 +348,150 @@ TEST(GoldenTrace, WritersReproduceTheCheckedInBytes) {
 
 TEST(GoldenTrace, ReplaysAgainstTheDsuOracleOnEveryVariant) {
   const io::Trace t = io::load_trace_file(source_path(kGolden[1].path));
-  std::vector<uint8_t> expected;
-  expected.reserve(t.ops.size());
   Oracle oracle(t.num_vertices);
-  for (const Op& op : t.ops) expected.push_back(oracle.apply(op) ? 1 : 0);
+  const std::vector<uint64_t> expected = oracle.replay(t.ops);
   for (const VariantInfo& v : all_variants()) {
     auto dc = v.make(t.num_vertices, true);
     EXPECT_EQ(harness::replay_trace(*dc, t.ops), expected) << v.name;
+  }
+}
+
+// --- DCTR v3: the value-query vocabulary on the wire ------------------------
+
+TEST(TraceV3, RoundTripsTheValueVocabulary) {
+  for (const uint64_t seed : {2ull, 77ull}) {
+    const io::Trace t = random_value_trace(5000, 700, seed);
+    EXPECT_TRUE(io::needs_v3(t));
+    EXPECT_EQ(io::preferred_format(t), io::TraceFormat::kV3);
+    std::stringstream ss;
+    io::save_trace(t, ss, io::TraceFormat::kV3);
+    EXPECT_EQ(io::load_trace(ss), t);
+  }
+  // Boolean-vocabulary traces stay on v2 but still round-trip through v3.
+  const io::Trace plain = random_trace(300, 200, 5);
+  EXPECT_FALSE(io::needs_v3(plain));
+  EXPECT_EQ(io::preferred_format(plain), io::TraceFormat::kV2);
+  std::stringstream ss;
+  io::save_trace(plain, ss, io::TraceFormat::kV3);
+  EXPECT_EQ(io::load_trace(ss), plain);
+}
+
+TEST(TraceV3, OlderWritersRefuseValueKinds) {
+  io::Trace t;
+  t.num_vertices = 8;
+  t.ops = {Op::add(0, 1), Op::component_size(1)};
+  for (const io::TraceFormat f :
+       {io::TraceFormat::kV1, io::TraceFormat::kV2}) {
+    std::stringstream ss;
+    EXPECT_THROW(io::save_trace(t, ss, f), std::runtime_error)
+        << "format v" << static_cast<uint32_t>(f);
+  }
+  std::stringstream ok;
+  io::save_trace(t, ok, io::preferred_format(t));  // v3 accepts
+  EXPECT_EQ(io::load_trace(ok), t);
+}
+
+TEST(TraceV3, RejectsBadKindBits) {
+  // Hand-built v3 payload: header (|V|=4, 1 op) + a tag whose 3 kind bits
+  // decode to 5 (> kRepresentative) must throw.
+  auto header = [](uint64_t count) {
+    std::string h = "DCTR";
+    const auto u32 = [&](uint32_t v) {
+      for (int i = 0; i < 4; ++i) h += static_cast<char>((v >> (8 * i)) & 0xff);
+    };
+    u32(3);  // version
+    u32(1);  // flags: delta-varint
+    u32(4);  // num_vertices
+    for (int i = 0; i < 8; ++i)
+      h += static_cast<char>((count >> (8 * i)) & 0xff);
+    return h;
+  };
+  for (const unsigned kind : {5u, 6u, 7u}) {
+    std::string b = header(1);
+    b += static_cast<char>((0 << 3) | kind);  // du=0, bad kind
+    b += static_cast<char>(0);                // dv=0
+    std::stringstream ss(b);
+    EXPECT_THROW(io::load_trace(ss), std::runtime_error) << "kind " << kind;
+  }
+  {  // the same payload with kind 4 (representative) is valid
+    std::string b = header(1);
+    b += static_cast<char>((0 << 3) | 4);
+    b += static_cast<char>(0);
+    std::stringstream ss(b);
+    const io::Trace t = io::load_trace(ss);
+    ASSERT_EQ(t.ops.size(), 1u);
+    EXPECT_EQ(t.ops[0], Op::representative(0));
+  }
+}
+
+TEST(TraceV3, TruncationAndCountMismatchStayStrict) {
+  const io::Trace t = random_value_trace(2000, 40, 3);
+  const std::string bytes = bytes_of(t, io::TraceFormat::kV3);
+  for (std::size_t cut = 24; cut < bytes.size(); cut += 3) {
+    std::stringstream ss(bytes.substr(0, cut));
+    EXPECT_THROW(io::load_trace(ss), std::runtime_error) << "cut at " << cut;
+  }
+  {  // declared count larger than the payload holds
+    std::string b = bytes;
+    b[16] = static_cast<char>(static_cast<unsigned char>(b[16]) + 1);
+    std::stringstream ss(b);
+    EXPECT_THROW(io::load_trace(ss), std::runtime_error);
+  }
+  {  // declared count smaller -> trailing payload bytes
+    std::string b = bytes;
+    b[16] = static_cast<char>(static_cast<unsigned char>(b[16]) - 1);
+    std::stringstream ss(b);
+    EXPECT_THROW(io::load_trace(ss), std::runtime_error);
+  }
+}
+
+TEST(TraceV3, ReadSynthesisHitsTheTargetShare) {
+  // A pure update stream: synthesize the paper's 80%-read mix from it.
+  io::Trace updates;
+  updates.num_vertices = 50;
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 400; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(50));
+    auto v = static_cast<Vertex>(rng.next_below(49));
+    if (v >= u) ++v;
+    updates.ops.push_back(rng.next_below(4) == 0 ? Op::remove(u, v)
+                                                 : Op::add(u, v));
+  }
+  const io::Trace mixed = io::synthesize_reads(updates, 80, false, 7);
+  uint64_t reads = 0, value_reads = 0;
+  for (const Op& op : mixed.ops) {
+    reads += is_query(op.kind) ? 1 : 0;
+    value_reads += static_cast<uint8_t>(op.kind) > 2 ? 1 : 0;
+  }
+  EXPECT_NEAR(100.0 * reads / mixed.ops.size(), 80.0, 2.0);
+  EXPECT_EQ(value_reads, 0u);  // without --size-queries: connected only
+  EXPECT_EQ(io::preferred_format(mixed), io::TraceFormat::kV2);
+  // Updates survive in order.
+  std::vector<Op> kept;
+  for (const Op& op : mixed.ops)
+    if (is_update(op.kind)) kept.push_back(op);
+  EXPECT_EQ(kept, updates.ops);
+
+  // With size queries the probe rotation emits all three query kinds and
+  // the trace needs v3.
+  const io::Trace sized = io::synthesize_reads(updates, 80, true, 7);
+  uint64_t size_q = 0, rep_q = 0, conn_q = 0;
+  for (const Op& op : sized.ops) {
+    size_q += op.kind == OpKind::kComponentSize;
+    rep_q += op.kind == OpKind::kRepresentative;
+    conn_q += op.kind == OpKind::kConnected;
+  }
+  EXPECT_GT(size_q, 0u);
+  EXPECT_GT(rep_q, 0u);
+  EXPECT_GT(conn_q, 0u);
+  EXPECT_EQ(io::preferred_format(sized), io::TraceFormat::kV3);
+  // Deterministic per seed; replays against the oracle on two variants.
+  EXPECT_EQ(io::synthesize_reads(updates, 80, true, 7), sized);
+  Oracle oracle(sized.num_vertices);
+  const std::vector<uint64_t> expected = oracle.replay(sized.ops);
+  for (const char* variant : {"coarse", "full"}) {
+    auto dc = make_variant(variant, sized.num_vertices);
+    EXPECT_EQ(harness::replay_trace(*dc, sized.ops), expected) << variant;
   }
 }
 
@@ -466,9 +630,8 @@ TEST(TemporalSnap, CheckedInSampleConvertsBelowThreeBytesPerOp) {
   EXPECT_EQ(io::load_trace_file(path), t);
   std::remove(path.c_str());
 
-  std::vector<uint8_t> expected;
   Oracle oracle(t.num_vertices);
-  for (const Op& op : t.ops) expected.push_back(oracle.apply(op) ? 1 : 0);
+  const std::vector<uint64_t> expected = oracle.replay(t.ops);
   for (const char* variant : {"coarse", "full"}) {
     auto dc = make_variant(variant, t.num_vertices);
     EXPECT_EQ(harness::replay_trace(*dc, t.ops), expected) << variant;

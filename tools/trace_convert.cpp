@@ -7,14 +7,24 @@
 //       --window N     cap live edges at N; the oldest is removed first
 //                      (turns an insert-only stream fully dynamic)
 //       --queries N    insert a connected() probe every N update ops
+//       --reads P      synthesize a read-heavy mix: interleave query probes
+//                      until reads are P% of the ops (the paper's 80/99%
+//                      mixes from pure update streams)
+//       --size-queries with --reads: probes rotate connected /
+//                      component_size / representative (emits DCTR v3)
 //       --seed S       probe endpoint RNG seed (default 42)
-//       --v1           write the uncompressed v1 format instead of v2
+//       --v1           write the uncompressed v1 format instead of v2/v3
 //   trace_convert info <trace.dctr>
 //       print header fields, op mix and bytes/op (strict decode: a corrupt
 //       trace fails here instead of at replay time)
-//   trace_convert recompress <in.dctr> <out.dctr> [--v1]
-//       re-encode a trace between versions; ops are preserved exactly
+//   trace_convert recompress <in.dctr> <out.dctr> [--v1] [--reads P]
+//                                                 [--size-queries] [--seed S]
+//       re-encode a trace between versions; without --reads ops are
+//       preserved exactly, with it reads are synthesized as in convert
 //
+// Output format: v1 with --v1 (rejected if the trace holds value queries),
+// otherwise v2 — upgraded automatically to v3 when the trace contains
+// component_size / representative ops (io::preferred_format).
 // Subcommands also accept the --info / --recompress spellings.
 #include <cstdio>
 #include <cstring>
@@ -33,9 +43,11 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: trace_convert convert <in.txt> <out.dctr>\n"
-      "         [--dedup] [--window N] [--queries N] [--seed S] [--v1]\n"
+      "         [--dedup] [--window N] [--queries N] [--reads P]\n"
+      "         [--size-queries] [--seed S] [--v1]\n"
       "       trace_convert info <trace.dctr>\n"
-      "       trace_convert recompress <in.dctr> <out.dctr> [--v1]\n");
+      "       trace_convert recompress <in.dctr> <out.dctr> [--v1]\n"
+      "         [--reads P] [--size-queries] [--seed S]\n");
   return 2;
 }
 
@@ -67,20 +79,49 @@ void print_info(const std::string& path) {
   const io::TraceFileInfo info = io::trace_info_file(path);
   std::printf("trace: %s\n", path.c_str());
   std::printf("  version:      %u%s\n", info.version,
-              info.version == io::kTraceVersionV2 ? " (delta+varint)" : "");
-  if (info.version == io::kTraceVersionV2)
+              info.version >= io::kTraceVersionV2 ? " (delta+varint)" : "");
+  if (info.version >= io::kTraceVersionV2)
     std::printf("  flags:        0x%x\n", info.flags);
   std::printf("  vertices:     %u\n", info.num_vertices);
-  std::printf("  ops:          %llu (adds %llu, removes %llu, queries %llu)\n",
+  std::printf("  ops:          %llu (adds %llu, removes %llu, queries %llu, "
+              "size %llu, rep %llu)\n",
               static_cast<unsigned long long>(info.ops),
               static_cast<unsigned long long>(info.adds),
               static_cast<unsigned long long>(info.removes),
-              static_cast<unsigned long long>(info.queries));
+              static_cast<unsigned long long>(info.queries),
+              static_cast<unsigned long long>(info.size_queries),
+              static_cast<unsigned long long>(info.rep_queries));
   std::printf("  file bytes:   %llu (header %llu, payload %llu)\n",
               static_cast<unsigned long long>(info.file_bytes),
               static_cast<unsigned long long>(info.header_bytes),
               static_cast<unsigned long long>(info.payload_bytes));
   std::printf("  bytes/op:     %.2f\n", info.bytes_per_op);
+}
+
+struct ReadSynth {
+  uint64_t percent = 0;  // 0 = off
+  bool size_queries = false;
+  uint64_t seed = 42;
+};
+
+/// Pop the read-synthesis knobs shared by convert and recompress.
+ReadSynth read_synth_flags(std::vector<std::string>& args) {
+  ReadSynth rs;
+  value_flag(args, "--reads", &rs.percent);
+  rs.size_queries = flag(args, "--size-queries");
+  value_flag(args, "--seed", &rs.seed);
+  return rs;
+}
+
+io::Trace apply_read_synth(io::Trace t, const ReadSynth& rs) {
+  if (rs.percent == 0) return t;
+  return io::synthesize_reads(t, static_cast<int>(rs.percent),
+                              rs.size_queries, rs.seed);
+}
+
+void save(const io::Trace& t, const std::string& path, bool v1) {
+  io::save_trace_file(t, path,
+                      v1 ? io::TraceFormat::kV1 : io::preferred_format(t));
 }
 
 int run(int argc, char** argv) {
@@ -97,13 +138,13 @@ int run(int argc, char** argv) {
 
   if (cmd == "recompress") {
     const bool v1 = flag(args, "--v1");
+    const ReadSynth rs = read_synth_flags(args);
     if (args.size() != 2) return usage();
-    const io::Trace t = io::load_trace_file(args[0]);
-    io::save_trace_file(t, args[1],
-                        v1 ? io::TraceFormat::kV1 : io::TraceFormat::kV2);
-    std::printf("recompressed %zu ops: %s -> %s (v%u)\n", t.ops.size(),
-                args[0].c_str(), args[1].c_str(),
-                v1 ? io::kTraceVersionV1 : io::kTraceVersionV2);
+    const io::Trace t =
+        apply_read_synth(io::load_trace_file(args[0]), rs);
+    save(t, args[1], v1);
+    std::printf("recompressed %zu ops: %s -> %s\n", t.ops.size(),
+                args[0].c_str(), args[1].c_str());
     print_info(args[1]);
     return 0;
   }
@@ -115,16 +156,17 @@ int run(int argc, char** argv) {
     uint64_t window = 0, queries = 0;
     value_flag(args, "--window", &window);
     value_flag(args, "--queries", &queries);
-    value_flag(args, "--seed", &opts.seed);
+    const ReadSynth rs = read_synth_flags(args);
+    opts.seed = rs.seed;  // one --seed drives probes and read synthesis
     opts.window = static_cast<std::size_t>(window);
     opts.query_every = static_cast<uint32_t>(queries);
     if (args.size() != 2) return usage();
     const auto events = io::load_temporal_snap_file(args[0]);
     if (events.empty())
       throw std::runtime_error(args[0] + " holds no temporal edges");
-    const io::Trace t = io::temporal_to_trace(events, opts);
-    io::save_trace_file(t, args[1],
-                        v1 ? io::TraceFormat::kV1 : io::TraceFormat::kV2);
+    const io::Trace t =
+        apply_read_synth(io::temporal_to_trace(events, opts), rs);
+    save(t, args[1], v1);
     std::printf("converted %zu events -> %zu ops, |V|=%u: %s\n",
                 events.size(), t.ops.size(), t.num_vertices, args[1].c_str());
     print_info(args[1]);
