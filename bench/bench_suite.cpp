@@ -14,7 +14,7 @@
 // THREADS / SCALE / SEED / FULL / VARIANTS / SCENARIOS / READS / BATCH /
 // TRACE, plus suite-specific:
 //   DC_BENCH_SECTIONS  comma list of sections to run (default
-//                      "graphs,sweep,stats,retries,ablation,dsu,memory")
+//                      "graphs,sweep,stats,retries,ablation,dsu,memory,labels")
 //   DC_BENCH_JSON      JSON output path (default "bench_suite.json")
 #include <algorithm>
 #include <cstdlib>
@@ -23,6 +23,7 @@
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "core/label_cache.hpp"
 #include "graph/dsu.hpp"
 #include "graph/io.hpp"
 #include "util/spinlock.hpp"
@@ -406,6 +407,89 @@ void memory_section(const EnvConfig& env, JsonReport& json) {
   table.print();
 }
 
+/// Tentpole measurement (DESIGN.md §8): the label cache on/off × read share
+/// × thread count on the component-local scenario — the cache's target
+/// workload (read-mostly traffic with community locality) — over two
+/// deliberately opposed graphs: the fragmented road network, where uniform
+/// churn keeps invalidating whatever the readers just repaired (the honest
+/// worst case), and the community-structured graph, where per-component
+/// invalidation leaves the other communities' labels hot. The interesting
+/// output is the *crossover*: at 50% reads the bracket overhead shows up as
+/// pure cost; by 99-100% reads the O(1) hit path should win by multiples on
+/// the community graph (the acceptance bar is >= 3x at 99% reads). The off
+/// rows use the same binary with the process-wide kill switch, so both
+/// sides pay identical code layout — only the hit path toggles.
+void labels_section(const EnvConfig& env, JsonReport& json) {
+  if (!LabelCache::env_enabled()) {
+    std::printf("# labels section skipped (DC_LABEL_CACHE=0)\n");
+    return;
+  }
+  std::vector<int> cache_ids;
+  for (const VariantInfo& v : all_variants())
+    if (v.caps.label_cache) cache_ids.push_back(v.id);
+  std::vector<int> variants;
+  for (int id : bench::variant_set(env, cache_ids)) {
+    const VariantInfo* v = find_variant(id);
+    if (v != nullptr && v->caps.label_cache) variants.push_back(id);
+  }
+  if (variants.empty()) {
+    std::printf("# labels section skipped (no cache-capable variant in "
+                "DC_BENCH_VARIANTS)\n");
+    return;
+  }
+  const ScenarioInfo* s = harness::find_scenario("component-local");
+  const std::vector<Graph> small = bench::small_graphs(env);
+  std::vector<const Graph*> graphs{&small.front()};
+  for (const Graph& g : small) {
+    if (g.name.find("components") != std::string::npos) {
+      graphs.push_back(&g);
+      break;
+    }
+  }
+  for (int read_percent : {50, 90, 99, 100}) {
+    SeriesReport report("Label cache crossover, component-local scenario, " +
+                            std::to_string(read_percent) + "% reads",
+                        "ops/ms", env.thread_counts);
+    for (const Graph* g : graphs) {
+      report.begin_graph(bench::graph_label(*g));
+      for (int id : variants) {
+        for (int cache_on : {1, 0}) {
+          LabelCache::set_globally_enabled(cache_on != 0);
+          for (unsigned threads : env.thread_counts) {
+            RunConfig cfg = base_config(env);
+            cfg.threads = threads;
+            cfg.read_percent = read_percent;
+            auto dc = make_variant(id, g->num_vertices());
+            const RunResult r = harness::run_scenario(*s, *dc, *g, cfg);
+            report.add_point(std::string(bench::variant_label(id)) +
+                                 (cache_on != 0 ? "/cache" : "/walk"),
+                             threads, r.ops_per_ms);
+            json.add_record()
+                .field("section", "labels")
+                .field("scenario", s->name)
+                .field("graph", g->name)
+                .field("variant", bench::variant_label(id))
+                .field("variant_id", id)
+                .field("threads", static_cast<int>(threads))
+                .field("read_percent", read_percent)
+                .field("label_cache", cache_on)
+                .field("ops_per_ms", r.ops_per_ms)
+                .field("total_ops", r.total_ops)
+                .field("reads", r.op_counters.reads)
+                .field("read_retries", r.op_counters.read_retries)
+                .field("label_hits", r.op_counters.label_hits)
+                .field("label_misses", r.op_counters.label_misses)
+                .field("label_publishes", r.op_counters.label_publishes)
+                .field("connected_per_ms", r.kind_per_ms(OpKind::kConnected));
+          }
+        }
+      }
+    }
+    LabelCache::set_globally_enabled(true);
+    report.print();
+  }
+}
+
 /// The cross-machine calibration record (scripts/bench_diff.py): one fixed
 /// single-thread coarse run on a fixed graph with fixed windows, deliberately
 /// independent of every DC_BENCH_* knob, emitted into every artifact. Two
@@ -580,7 +664,8 @@ int main(int argc, char** argv) {
 
   for (const std::string& section :
        harness::env_list("DC_BENCH_SECTIONS",
-                         "graphs,sweep,stats,retries,ablation,dsu,memory")) {
+                         "graphs,sweep,stats,retries,ablation,dsu,memory,"
+                         "labels")) {
     if (section == "graphs") {
       graphs_section(env, json);
     } else if (section == "sweep") {
@@ -595,6 +680,8 @@ int main(int argc, char** argv) {
       dsu_section(env, json);
     } else if (section == "memory") {
       memory_section(env, json);
+    } else if (section == "labels") {
+      labels_section(env, json);
     } else {
       std::printf("# unknown section \"%s\" skipped\n", section.c_str());
     }

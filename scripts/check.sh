@@ -62,6 +62,9 @@ assert sq and all(r['ops_component_size'] > 0 and r['component_size_per_ms'] > 0
     'size-query per-kind throughput missing'
 bulk = [r for r in d['results'] if r['section'] == 'sweep' and r['scenario'] == 'bulk-connected']
 assert bulk and all(r['batches'] > 0 for r in bulk), 'bulk-connected batched records missing'
+lab = [r for r in d['results'] if r['section'] == 'labels']
+assert {r['label_cache'] for r in lab} == {0, 1}, 'labels section must record cache-on and cache-off rows'
+assert any(r['label_cache'] == 1 and r['label_hits'] > 0 for r in lab), 'label cache never hit in the labels smoke'
 print(f'bench_suite smoke: {len(d[\"results\"])} JSON records, {n} scenarios')
 "
 
@@ -75,10 +78,10 @@ if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DCONDYN_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" \
     --target test_concurrent test_nb_hdt test_scenarios test_replay_dep \
-             test_query_api
+             test_query_api test_label_cache
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
     --output-on-failure -j 2 \
-    -R 'test_concurrent|test_nb_hdt|test_scenarios|test_replay_dep|test_query_api'
+    -R 'test_concurrent|test_nb_hdt|test_scenarios|test_replay_dep|test_query_api|test_label_cache'
 fi
 
 echo "check.sh: all green"

@@ -25,6 +25,18 @@ uint64_t DynamicConnectivity::component_size(Vertex u) {
   return count;
 }
 
+ComponentsSnapshot DynamicConnectivity::components() {
+  // One representative() per vertex, through the virtual so every variant's
+  // native (lock-free or locked) read path is used. Each entry is
+  // individually linearizable; the aggregate is consistent at quiescence —
+  // the same contract as the base component_size scan above.
+  ComponentsSnapshot s;
+  const Vertex n = num_vertices();
+  s.labels.resize(n);
+  for (Vertex v = 0; v < n; ++v) s.labels[v] = representative(v);
+  return s;
+}
+
 Vertex DynamicConnectivity::representative(Vertex u) {
   // First (smallest) vertex connected to u; connected(u, u) is always true,
   // so the scan terminates by u at the latest.

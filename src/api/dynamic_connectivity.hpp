@@ -108,6 +108,29 @@ struct BatchResult {
   }
 };
 
+/// The label array of one components() call: labels[v] is the canonical
+/// (smallest-id) member of v's component, so labels[u] == labels[v] iff u
+/// and v were connected — the flat form a sharding or partitioning layer
+/// consumes directly.
+struct ComponentsSnapshot {
+  std::vector<Vertex> labels;
+  /// True when every entry comes from one atomically published epoch (the
+  /// label-cache path); false for the base per-vertex scan, which is only
+  /// consistent at quiescence (like the other base query fallbacks).
+  bool consistent = false;
+
+  bool same_component(Vertex u, Vertex v) const noexcept {
+    return labels[u] == labels[v];
+  }
+  std::size_t num_components() const noexcept {
+    std::size_t n = 0;
+    for (Vertex v = 0; v < labels.size(); ++v) {
+      if (labels[v] == v) ++n;
+    }
+    return n;
+  }
+};
+
 /// The public interface every algorithm variant implements — the three
 /// operations of the dynamic connectivity problem (paper §1):
 ///   addEdge(u,v), removeEdge(u,v), connected(u,v)
@@ -149,6 +172,14 @@ class DynamicConnectivity {
   /// fallback: first i with connected(u, i); overridden natively via the
   /// ETT's min-vertex augmentation (VariantCaps::stable_representative).
   virtual Vertex representative(Vertex u);
+
+  /// Every component at once: a full label array (see ComponentsSnapshot).
+  /// The base fallback calls representative(v) per vertex — n independent
+  /// queries, consistent only at quiescence. Variants with
+  /// VariantCaps::label_cache override it to read one published epoch of
+  /// the label cache, which *is* a consistent snapshot even under
+  /// concurrent updates (falling back to the scan when churn defeats it).
+  virtual ComponentsSnapshot components();
 
   /// Apply a batch of operations with results equivalent to calling the
   /// single-op methods in index order. Each operation remains individually

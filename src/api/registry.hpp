@@ -32,6 +32,12 @@ struct VariantCaps {
   /// representative() natively returns the canonical (smallest-id) member
   /// of the component, stable between updates of that component.
   bool stable_representative = false;
+  /// Reads route through the epoch-published component-label cache
+  /// (DESIGN.md §8): O(1) hits for connected/component_size/representative
+  /// and snapshot-consistent components(), gated at construction by
+  /// DC_LABEL_CACHE. Set by the families whose reads are lock-free (the
+  /// cache's fallback is exactly that read path).
+  bool label_cache = false;
 };
 
 /// One evaluated algorithm combination (paper §5.2; numbering kept

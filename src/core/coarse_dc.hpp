@@ -5,6 +5,7 @@
 
 #include "api/dynamic_connectivity.hpp"
 #include "core/hdt.hpp"
+#include "core/label_cache.hpp"
 #include "core/stats.hpp"
 
 namespace condyn {
@@ -21,7 +22,14 @@ template <typename Lock, bool NonBlockingReads>
 class CoarseDc final : public DynamicConnectivity {
  public:
   explicit CoarseDc(Vertex n, std::string name, bool sampling = true)
-      : hdt_(n, sampling), name_(std::move(name)) {}
+      : hdt_(n, sampling), name_(std::move(name)) {
+    // The label cache's hit path and fallback are both lock-free, so only
+    // the non-blocking-reads instantiations build one (DESIGN.md §8).
+    if constexpr (NonBlockingReads) {
+      if (LabelCache::env_enabled())
+        cache_ = std::make_unique<LabelCache>(&hdt_.level0());
+    }
+  }
 
   bool add_edge(Vertex u, Vertex v) override {
     std::lock_guard<Lock> lk(mu_);
@@ -35,7 +43,7 @@ class CoarseDc final : public DynamicConnectivity {
 
   bool connected(Vertex u, Vertex v) override {
     if constexpr (NonBlockingReads) {
-      return hdt_.connected(u, v);
+      return cache_ ? cache_->connected(u, v) : hdt_.connected(u, v);
     } else {
       ++op_stats::local().reads;
       mu_.lock_shared();  // == lock() for exclusive-only locks
@@ -50,7 +58,7 @@ class CoarseDc final : public DynamicConnectivity {
   /// shared (or exclusive) locked root lookup otherwise.
   uint64_t component_size(Vertex u) override {
     if constexpr (NonBlockingReads) {
-      return hdt_.component_size(u);
+      return cache_ ? cache_->component_size(u) : hdt_.component_size(u);
     } else {
       ++op_stats::local().reads;
       mu_.lock_shared();
@@ -62,7 +70,7 @@ class CoarseDc final : public DynamicConnectivity {
 
   Vertex representative(Vertex u) override {
     if constexpr (NonBlockingReads) {
-      return hdt_.representative(u);
+      return cache_ ? cache_->representative(u) : hdt_.representative(u);
     } else {
       ++op_stats::local().reads;
       mu_.lock_shared();
@@ -89,7 +97,9 @@ class CoarseDc final : public DynamicConnectivity {
       // parallelism).
       if constexpr (NonBlockingReads) {
         for (std::size_t i = 0; i < ops.size(); ++i) {
-          r.set_op(i, ops[i].kind, hdt_.exec_query(ops[i]));
+          r.set_op(i, ops[i].kind,
+                   cache_ ? cache_->exec_query(ops[i])
+                          : hdt_.exec_query(ops[i]));
         }
       } else {
         op_stats::local().reads += ops.size();
@@ -106,6 +116,19 @@ class CoarseDc final : public DynamicConnectivity {
     return r;
   }
 
+  ComponentsSnapshot components() override {
+    if constexpr (NonBlockingReads) {
+      if (cache_ != nullptr) {
+        ComponentsSnapshot s;
+        if (cache_->snapshot_labels(s.labels)) {
+          s.consistent = true;
+          return s;
+        }
+      }
+    }
+    return DynamicConnectivity::components();
+  }
+
   Vertex num_vertices() const override { return hdt_.num_vertices(); }
   std::string name() const override { return name_; }
 
@@ -115,6 +138,8 @@ class CoarseDc final : public DynamicConnectivity {
   Hdt hdt_;
   Lock mu_;
   std::string name_;
+  /// Declared last: destroyed first, detaching from hdt_'s level-0 forest.
+  std::unique_ptr<LabelCache> cache_;
 };
 
 }  // namespace condyn

@@ -16,6 +16,7 @@ VariantCaps coarse_caps(bool lock_free_reads) {
   c.lock_free_reads = lock_free_reads;
   c.sized_components = true;       // native root-vcount lookup (under/without
   c.stable_representative = true;  // the lock, per the read discipline)
+  c.label_cache = lock_free_reads;  // cache hits/fallback are lock-free (§8)
   return c;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/label_cache.hpp"
 #include "core/stats.hpp"
 #include "util/ebr.hpp"
 #include "util/node_pool.hpp"
@@ -369,12 +370,23 @@ Vertex Forest::representative_nonblocking(Vertex u) {
 }
 
 void Forest::link(Vertex u, Vertex v) {
+  // Label-cache bracket: the merge changes the membership of exactly these
+  // two components, so both their label eras are expired before the first
+  // physical store (begin first — the stamp must count this bracket before
+  // any publisher could observe the invalidations).
+  if (cache_ != nullptr) cache_->begin_update();
   Node* nu = vertex_node(u);
   Node* nv = vertex_node(v);
   Node* ru = find_root(nu);
   Node* rv = find_root(nv);
   assert(ru != rv && "link precondition: different components");
   assert(!has_edge(u, v));
+  if (cache_ != nullptr) {
+    cache_->invalidate(
+        Node::vstat_min(ru->vstat.load(std::memory_order_relaxed)));
+    cache_->invalidate(
+        Node::vstat_min(rv->vstat.load(std::memory_order_relaxed)));
+  }
 
   // I3: bump both root versions before any physical change. Release: the
   // bumps only need to be visible to readers that acquire a later physical
@@ -411,6 +423,7 @@ void Forest::link(Vertex u, Vertex v) {
   (void)t;
   assert(t == hi);
   assert(hi->parent.load(std::memory_order_relaxed) == nullptr);
+  if (cache_ != nullptr) cache_->end_update();
 }
 
 Node* Forest::find_piece_root(Node* x) noexcept {
@@ -423,12 +436,26 @@ Node* Forest::find_piece_root(Node* x) noexcept {
 }
 
 Forest::CutHandle Forest::cut_prepare(Vertex u, Vertex v) {
+  // Label-cache bracket spanning the whole two-phase cut: the root's vstat
+  // transiently holds piece-only values mid-prepare (pull() rewrites it
+  // with no further version bump), so the whole prepare→commit/relink
+  // window must be writer-active; the component's era is expired up front
+  // (the prior word rides in the handle so cut_relink can restore it — a
+  // relink changes nothing). The bracket closes in cut_commit or
+  // cut_relink.
+  if (cache_ != nullptr) cache_->begin_update();
   ArcPair* pair = arcs_.find(Edge(u, v));
   assert(pair != nullptr && "cut precondition: edge in forest");
   Node* a = u <= v ? pair->uv : pair->vu;  // arc u->v
   Node* b = u <= v ? pair->vu : pair->uv;  // arc v->u
 
   Node* rt = find_root(a);
+  Vertex cache_rep = 0;
+  uint64_t cache_word = 0;
+  if (cache_ != nullptr) {
+    cache_rep = Node::vstat_min(rt->vstat.load(std::memory_order_relaxed));
+    cache_word = cache_->invalidate(cache_rep);
+  }
   // I3: bump the current root's version before any physical change
   // (release — paired with readers' acquire loads, see link()).
   rt->version.fetch_add(1, std::memory_order_release);
@@ -465,6 +492,8 @@ Forest::CutHandle Forest::cut_prepare(Vertex u, Vertex v) {
   assert(ru == ac || ru == piece_b);
   h.root_u = ru;
   h.root_v = (ru == ac) ? piece_b : ac;
+  h.cache_rep = cache_rep;
+  h.cache_word = cache_word;
   arcs_.erase(Edge(u, v));  // writer-only table; readers never consult it
   return h;
 }
@@ -483,6 +512,12 @@ void Forest::cut_commit(CutHandle& h) {
   // pointers keep chains valid, and EBR delays the recycle into the pool.
   node_pool().retire(h.arc1);
   node_pool().retire(h.arc2);
+  // The split expires only the old component's era (invalidated at
+  // prepare); the piece that gained a new representative cannot alias a
+  // stale era — its comp_ slot was expired when that representative's own
+  // component last changed, and only a reader's validated republish can
+  // revive it.
+  if (cache_ != nullptr) cache_->end_update();
 }
 
 void Forest::cut_relink(CutHandle& h, Vertex x, Vertex y) {
@@ -520,6 +555,13 @@ void Forest::cut_relink(CutHandle& h, Vertex x, Vertex y) {
 
   node_pool().retire(h.arc1);
   node_pool().retire(h.arc2);
+  // Membership unchanged: restore the pre-bracket component word, making
+  // every label of the old era valid again — the warm-under-churn property
+  // the labels section measures.
+  if (cache_ != nullptr) {
+    cache_->revalidate(h.cache_rep, h.cache_word);
+    cache_->end_update();
+  }
 }
 
 void Forest::cut(Vertex u, Vertex v) {

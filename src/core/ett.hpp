@@ -10,6 +10,10 @@
 #include "graph/graph.hpp"
 #include "util/rw_lock.hpp"
 
+namespace condyn {
+class LabelCache;
+}
+
 namespace condyn::ett {
 
 /// Single-writer, multi-reader Euler Tour Tree (paper §3).
@@ -182,6 +186,8 @@ class Forest {
     Node* arc2 = nullptr;
     Node* old_root = nullptr;
     Vertex u = 0, v = 0;
+    Vertex cache_rep = 0;      ///< label-cache slot expired at prepare
+    uint64_t cache_word = 0;   ///< its prior word, restored by cut_relink
   };
   CutHandle cut_prepare(Vertex u, Vertex v);
   void cut_commit(CutHandle& h);
@@ -231,6 +237,15 @@ class Forest {
              : 0;
   }
 
+  /// Attach (or detach, with nullptr) the epoch-published label cache
+  /// (DESIGN.md §8). Only ever set on a level-0 forest, by the owning
+  /// facade, before concurrent use begins; when set, every structural
+  /// bracket — link(), and cut_prepare() through cut_commit()/cut_relink()
+  /// — notifies the cache so published labels expire exactly when level-0
+  /// component membership changes, and only for the one or two components
+  /// an update touches (a relink restores the word it expired: net zero).
+  void set_label_cache(LabelCache* c) noexcept { cache_ = c; }
+
   /// In-order tour of u's component (testing/debugging).
   std::vector<const Node*> tour(Vertex u);
 
@@ -269,6 +284,7 @@ class Forest {
 
   Vertex n_;
   int level_;
+  LabelCache* cache_ = nullptr;  ///< level-0 only; see set_label_cache
   std::unique_ptr<std::atomic<Node*>[]> nodes_;
   ShardedEdgeMap<ArcPair> arcs_;
 };

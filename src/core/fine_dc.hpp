@@ -6,6 +6,7 @@
 #include "core/batch_runs.hpp"
 #include "core/component_lock.hpp"
 #include "core/hdt.hpp"
+#include "core/label_cache.hpp"
 #include "core/stats.hpp"
 
 namespace condyn {
@@ -28,7 +29,14 @@ template <FineReadMode Mode>
 class FineDc final : public DynamicConnectivity {
  public:
   explicit FineDc(Vertex n, std::string name, bool sampling = true)
-      : hdt_(n, sampling), name_(std::move(name)) {}
+      : hdt_(n, sampling), name_(std::move(name)) {
+    // Only the non-blocking read mode builds the cache: its hit path and
+    // fallback are lock-free, matching that mode's read discipline.
+    if constexpr (Mode == FineReadMode::kNonBlocking) {
+      if (LabelCache::env_enabled())
+        cache_ = std::make_unique<LabelCache>(&hdt_.level0());
+    }
+  }
 
   bool add_edge(Vertex u, Vertex v) override {
     if (u == v) return false;
@@ -44,7 +52,7 @@ class FineDc final : public DynamicConnectivity {
 
   bool connected(Vertex u, Vertex v) override {
     if constexpr (Mode == FineReadMode::kNonBlocking) {
-      return hdt_.connected(u, v);
+      return cache_ ? cache_->connected(u, v) : hdt_.connected(u, v);
     } else if constexpr (Mode == FineReadMode::kSharedLocks) {
       ++op_stats::local().reads;
       SharedComponentGuard g(hdt_.level0(), u, v);
@@ -62,7 +70,7 @@ class FineDc final : public DynamicConnectivity {
   /// discipline as connected().
   uint64_t component_size(Vertex u) override {
     if constexpr (Mode == FineReadMode::kNonBlocking) {
-      return hdt_.component_size(u);
+      return cache_ ? cache_->component_size(u) : hdt_.component_size(u);
     } else {
       ++op_stats::local().reads;
       return ett::Node::vstat_count(locked_root_vstat(u));
@@ -71,7 +79,7 @@ class FineDc final : public DynamicConnectivity {
 
   Vertex representative(Vertex u) override {
     if constexpr (Mode == FineReadMode::kNonBlocking) {
-      return hdt_.representative(u);
+      return cache_ ? cache_->representative(u) : hdt_.representative(u);
     } else {
       ++op_stats::local().reads;
       return ett::Node::vstat_min(locked_root_vstat(u));
@@ -123,6 +131,19 @@ class FineDc final : public DynamicConnectivity {
     return r;
   }
 
+  ComponentsSnapshot components() override {
+    if constexpr (Mode == FineReadMode::kNonBlocking) {
+      if (cache_ != nullptr) {
+        ComponentsSnapshot s;
+        if (cache_->snapshot_labels(s.labels)) {
+          s.consistent = true;
+          return s;
+        }
+      }
+    }
+    return DynamicConnectivity::components();
+  }
+
   Vertex num_vertices() const override { return hdt_.num_vertices(); }
   std::string name() const override { return name_; }
 
@@ -144,6 +165,8 @@ class FineDc final : public DynamicConnectivity {
 
   Hdt hdt_;
   std::string name_;
+  /// Declared last: destroyed first, detaching from hdt_'s level-0 forest.
+  std::unique_ptr<LabelCache> cache_;
 };
 
 }  // namespace condyn

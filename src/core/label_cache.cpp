@@ -1,0 +1,276 @@
+#include "core/label_cache.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "core/ett.hpp"
+#include "core/stats.hpp"
+#include "util/ebr.hpp"
+
+namespace condyn {
+
+namespace {
+
+std::atomic<bool> g_label_cache_enabled{true};
+
+}  // namespace
+
+void LabelCache::set_globally_enabled(bool on) noexcept {
+  g_label_cache_enabled.store(on, std::memory_order_release);
+}
+
+bool LabelCache::globally_enabled() noexcept {
+  return g_label_cache_enabled.load(std::memory_order_acquire);
+}
+
+bool LabelCache::env_enabled() noexcept {
+  static const bool on = [] {
+    const char* e = std::getenv("DC_LABEL_CACHE");
+    return e == nullptr || std::string_view(e) != "0";
+  }();
+  return on;
+}
+
+LabelCache::LabelCache(ett::Forest* forest)
+    : forest_(forest),
+      n_(forest->num_vertices()),
+      labels_(std::make_unique<std::atomic<uint64_t>[]>(forest->num_vertices())),
+      comp_(std::make_unique<std::atomic<uint64_t>[]>(forest->num_vertices())) {
+  // Version 0 is the reserved never-hits value, so zeroed is "empty".
+  for (Vertex v = 0; v < n_; ++v) {
+    labels_[v].store(0, std::memory_order_relaxed);
+    comp_[v].store(0, std::memory_order_relaxed);
+  }
+  forest_->set_label_cache(this);
+}
+
+LabelCache::~LabelCache() { forest_->set_label_cache(nullptr); }
+
+void LabelCache::begin_update() noexcept {
+  // One RMW opens the bracket: the begins field (monotone, never
+  // decremented) and the writer count move together, so a publisher
+  // comparing two stamp loads can never miss a bracket that was counted in
+  // one field but not yet the other. seq_cst: the publisher's plain loads
+  // must totally order against these RMWs (the same store-load discipline
+  // as the flag protocol, DESIGN.md §7.3).
+  stamp_.fetch_add(kBeginOne + 1, std::memory_order_seq_cst);
+}
+
+void LabelCache::end_update() noexcept {
+  stamp_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+uint64_t LabelCache::invalidate(Vertex rep) noexcept {
+  // Move comp_[rep]'s version to the next odd value before the component is
+  // mutated. This is the whole invalidation story: labels of era v die the
+  // instant the slot leaves v, and a publisher whose expected CAS value
+  // predates this bump fails. Runs under the engine's structural
+  // exclusivity for this component, but the CAS loop also tolerates a
+  // concurrent bracket on the same slot.
+  uint64_t w = comp_[rep].load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t nw = pack_word(next_odd(word_ver(w)), word_value(w));
+    if (comp_[rep].compare_exchange_weak(w, nw, std::memory_order_seq_cst))
+      return w;
+  }
+}
+
+void LabelCache::revalidate(Vertex rep, uint64_t prior) noexcept {
+  // cut_relink: the removal spliced the component back together —
+  // membership, count and representative are exactly what they were before
+  // cut_prepare, so the pre-bracket word becomes valid again. CAS from the
+  // odd value our own invalidate() installed: if any other bracket touched
+  // the slot meanwhile, its version moved on and the restore is dropped
+  // (the slot stays unstable until a reader republishes — correct, just
+  // colder). No publisher can have interfered: publishes require a
+  // writer-free stamp window and our bracket is still open.
+  uint64_t expected = pack_word(next_odd(word_ver(prior)), word_value(prior));
+  comp_[rep].compare_exchange_strong(expected, prior,
+                                     std::memory_order_seq_cst);
+}
+
+uint64_t LabelCache::walk_and_publish(Vertex u) {
+  auto guard = ebr::pin();
+  ett::Node* nu = forest_->vertex_node(u);
+  auto& st = op_stats::local();
+  ++st.reads;
+
+  const uint64_t s1 = stamp_.load(std::memory_order_seq_cst);
+  const bool can_publish = stamp_writers(s1) == 0 && globally_enabled();
+
+  Vertex chain[kChainCap];
+  std::size_t chain_len = 0;
+  uint64_t stat;
+  for (;;) {
+    // Same seqlock double-collect as Forest::root_vstat_nonblocking, with
+    // the vertex ids of u's parent chain collected on the way up. Vertex
+    // nodes' is_vertex/tail are written once at construction, before the
+    // node is published via a release store, so these plain reads are
+    // race-free under the acquire chain + EBR pin.
+    chain_len = 0;
+    const ett::Node* cur = nu;
+    for (;;) {
+      if (cur->is_vertex && chain_len < kChainCap)
+        chain[chain_len++] = cur->tail;
+      const ett::Node* p = cur->parent.load(std::memory_order_acquire);
+      if (p == nullptr) break;
+      cur = p;
+    }
+    const ett::RootSnapshot s{cur,
+                              cur->version.load(std::memory_order_acquire)};
+    stat = cur->vstat.load(std::memory_order_acquire);
+    if (ett::find_root_versioned(nu) == s) break;
+    ++st.read_retries;
+  }
+
+  // Quiescence: writers == 0 at s1 and the stamp unchanged since means no
+  // bracket overlapped the walk — none was open at s1 (every earlier
+  // bracket's end RMW precedes the value we read in stamp_'s modification
+  // order, so its mutations are visible), and the monotone begins bits rule
+  // out one that came and went. The walk therefore saw the stable state of
+  // u's component. A bracket opening after the re-check is caught by the
+  // comp_ CAS below: its invalidate() moves the version before any
+  // physical change, so our expected value — read inside the quiescent
+  // window — no longer matches.
+  if (can_publish && stamp_.load(std::memory_order_seq_cst) == s1) {
+    const Vertex rep = ett::Node::vstat_min(stat);
+    const uint32_t count = ett::Node::vstat_count(stat);
+    uint64_t wc = comp_[rep].load(std::memory_order_seq_cst);
+    uint32_t era = 0;
+    if (is_era(word_ver(wc))) {
+      // An era is already live for this component; our quiescent walk must
+      // agree with it (membership cannot have changed since the era began
+      // or the version would have moved). Join it — installing a fresh era
+      // here would needlessly kill every label already published under it.
+      if (word_value(wc) == count) era = word_ver(wc);
+    } else {
+      const uint32_t nv = (word_ver(wc) | 1) + 1;  // next even above
+      if (is_era(nv) &&
+          comp_[rep].compare_exchange_strong(wc, pack_word(nv, count),
+                                             std::memory_order_seq_cst)) {
+        era = nv;
+      }
+    }
+    if (era != 0) {
+      // Label stores strictly after the era exists in comp_: a hit's
+      // acquire load of a label synchronizes with these releases, so the
+      // era it validates against is the one the label was published under.
+      for (std::size_t i = 0; i < chain_len; ++i) {
+        labels_[chain[i]].store(pack_word(era, rep),
+                                std::memory_order_release);
+      }
+      ++st.label_publishes;
+    }
+  }
+  return stat;
+}
+
+int LabelCache::try_connected(Vertex u, Vertex v) const noexcept {
+  uint32_t va, ra, vb, rb;
+  if (!load_label(u, &va, &ra) || !load_label(v, &vb, &rb)) return -1;
+  if (ra == rb) {
+    // Same slot: equal versions means one era, hence simultaneous
+    // membership (load_label already validated va against comp_[ra]).
+    return va == vb ? 1 : -1;
+  }
+  // Distinct reps: each label was valid at its own comp_ load; re-reading
+  // the first slot brackets the second's validation, and per-slot versions
+  // are monotone, so an unchanged re-read means era-a spanned era-b's
+  // validation instant — both memberships held at once, and distinct
+  // canonical (min-id) representatives at one instant are distinct
+  // components.
+  if (word_ver(comp_[ra].load(std::memory_order_seq_cst)) != va) return -1;
+  return 0;
+}
+
+bool LabelCache::connected(Vertex u, Vertex v) {
+  if (globally_enabled()) {
+    auto& st = op_stats::local();
+    int r = try_connected(u, v);
+    if (r >= 0) {
+      ++st.label_hits;
+      ++st.reads;
+      return r != 0;
+    }
+    ++st.label_misses;
+    walk_and_publish(u);
+    walk_and_publish(v);
+    r = try_connected(u, v);
+    if (r >= 0) return r != 0;
+    // Concurrent churn defeated both publishes: the two walks' root
+    // snapshots were taken independently, which Appendix A shows is not
+    // linearizable to compare — answer with Listing 1 instead.
+  }
+  return forest_->connected(u, v);
+}
+
+uint64_t LabelCache::component_size(Vertex u) {
+  if (globally_enabled()) {
+    auto& st = op_stats::local();
+    const uint64_t wl = labels_[u].load(std::memory_order_seq_cst);
+    if (is_era(word_ver(wl))) {
+      const uint64_t wc =
+          comp_[word_value(wl)].load(std::memory_order_seq_cst);
+      if (word_ver(wc) == word_ver(wl)) {
+        // Era still live at the comp_ load — the linearization point; the
+        // count was published from a quiescent walk of that era.
+        ++st.label_hits;
+        ++st.reads;
+        return word_value(wc);
+      }
+    }
+    ++st.label_misses;
+    return ett::Node::vstat_count(walk_and_publish(u));
+  }
+  return forest_->component_size_nonblocking(u);
+}
+
+Vertex LabelCache::representative(Vertex u) {
+  if (globally_enabled()) {
+    auto& st = op_stats::local();
+    uint32_t ver, rep;
+    if (load_label(u, &ver, &rep)) {
+      ++st.label_hits;
+      ++st.reads;
+      return rep;
+    }
+    ++st.label_misses;
+    return ett::Node::vstat_min(walk_and_publish(u));
+  }
+  return forest_->representative_nonblocking(u);
+}
+
+uint64_t LabelCache::exec_query(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kConnected: return connected(op.u, op.v) ? 1 : 0;
+    case OpKind::kComponentSize: return component_size(op.u);
+    case OpKind::kRepresentative: return representative(op.u);
+    default: return 0;  // updates never reach the query paths
+  }
+}
+
+bool LabelCache::snapshot_labels(std::vector<Vertex>& out) {
+  if (!globally_enabled()) return false;
+  out.resize(n_);
+  for (int attempt = 0; attempt < kSnapshotAttempts; ++attempt) {
+    const uint64_t s = stamp_.load(std::memory_order_seq_cst);
+    if (stamp_writers(s) != 0) continue;
+    bool ok = true;
+    for (Vertex v = 0; v < n_ && ok; ++v) {
+      uint32_t ver, rep = 0;
+      if (!load_label(v, &ver, &rep)) {
+        walk_and_publish(v);
+        ok = load_label(v, &ver, &rep);
+      }
+      out[v] = rep;
+    }
+    // An unchanged stamp means no bracket overlapped the scan (writer-free
+    // at the start, monotone begins bits since): the forest was quiescent
+    // throughout, so every per-vertex validation happened against one
+    // unchanging membership — a consistent snapshot, linearized here.
+    if (ok && stamp_.load(std::memory_order_seq_cst) == s) return true;
+  }
+  return false;
+}
+
+}  // namespace condyn

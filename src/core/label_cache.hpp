@@ -1,0 +1,219 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "api/dynamic_connectivity.hpp"
+#include "graph/graph.hpp"
+
+namespace condyn::ett {
+class Forest;
+struct Node;
+}  // namespace condyn::ett
+
+namespace condyn {
+
+/// Published per-vertex component labels with per-component invalidation:
+/// the read-mostly fast path (DESIGN.md §8).
+///
+/// The paper's lock-free read (Listing 1) walks O(log n) parent pointers per
+/// query. For the production mix — overwhelmingly reads against a slowly
+/// changing forest — this cache turns a query into two or three loads, the
+/// DSU-speed lookup De Man et al. 2024 argue practical systems need. Two
+/// flat arrays sit beside the level-0 forest, each entry a packed
+/// version:32 | value:32 word:
+///
+///   labels_[v] = pack(era, representative of v's component)
+///   comp_[r]   = pack(era, |component whose representative is r|)
+///
+/// where `representative` is the Query API v2 canonical (smallest-id)
+/// member. comp_[r]'s version is a per-component seqlock: even and nonzero
+/// marks a stable *era* of r's component, odd marks it unstable, zero is
+/// never-published. A label is valid iff its version equals comp_[rep]'s
+/// current version and that version names an era. Invalidation is therefore
+/// per component, not global: a structural update expires only the labels
+/// of the one or two components it touches, which is what keeps the cache
+/// hot at 99% reads while updates churn elsewhere — the crossover the
+/// bench labels section measures.
+///
+/// Writer protocol (hooked from ett::Forest, level 0 only):
+///  * begin_update(): one fetch_add on the packed stamp (begins:48 in the
+///    high bits, writers:16 in the low) increments both fields atomically;
+///  * invalidate(rep): CAS comp_[rep]'s version to the next odd value,
+///    *before* any physical change to that component — called once per
+///    affected root (two for link, one for a cut);
+///  * end_update(): decrements the writer count (begins stays incremented
+///    forever — the monotone high bits are what make a publisher's
+///    stamp-unchanged check ABA-free);
+///  * revalidate(rep, prior): cut_relink only — the removal found a
+///    replacement, membership never changed, so the pre-bracket comp word
+///    is restored by CAS (expected: the odd value our own invalidate
+///    wrote). The CAS fails harmlessly if another bracket has since touched
+///    the slot; on success every label of the old era is valid again — the
+///    measured reason spanning churn on well-connected graphs leaves the
+///    99%-read fast path intact.
+///
+/// The whole cut_prepare→commit/relink window is one bracket because
+/// cut_prepare bumps the old root's version once up front and then
+/// restructures: mid-prepare the root's vstat transiently holds piece-only
+/// values that a concurrent label walk could otherwise publish.
+///
+/// Reader side:
+///  * hit: load labels_[u] = (v, r); the hit is valid iff v is an era and
+///    comp_[r]'s version still equals v — linearized at the comp_ load
+///    (era semantics: membership of r's component cannot change within an
+///    era, because every change CASes the version odd before mutating).
+///    connected() needs both endpoints valid *simultaneously*: after
+///    validating each, it re-reads the first component word — versions are
+///    monotone per slot, so two unequal-rep validations bracketed by an
+///    unchanged re-read give overlapping eras, and distinct canonical reps
+///    in overlapping eras means distinct components.
+///  * miss: walk_and_publish — an EBR-pinned seqlock walk identical in
+///    structure to Forest::root_vstat_nonblocking that additionally
+///    collects the vertex ids on u's parent chain. If the packed stamp is
+///    writer-free and unchanged across the walk (no bracket overlapped: the
+///    begins bits are monotone), the walk saw a quiescent forest; the
+///    component word is then installed by CAS — expected value read inside
+///    the quiescent window, so a bracket sneaking in after the stamp
+///    re-check fails the CAS via its own invalidate bump — and the chain's
+///    labels are stored under the resulting era. Repair is lazy and
+///    amortized across readers: each miss relabels its own O(log n) chain,
+///    so hot components converge after a handful of misses instead of
+///    every update paying O(component).
+///
+/// Versions are 32-bit and wrap; a stale hit would need 2^31 membership
+/// changes of one component between a label store and its use, with the
+/// version landing back on the exact era value — not reachable in practice
+/// (the wrap also skips 0, the reserved never-hits value).
+///
+/// Lifetime: the facade owns the cache and declares it after its engine, so
+/// the destructor detaches from the forest before the forest dies.
+class LabelCache {
+ public:
+  explicit LabelCache(ett::Forest* forest);
+  ~LabelCache();
+  LabelCache(const LabelCache&) = delete;
+  LabelCache& operator=(const LabelCache&) = delete;
+
+  // --- reader API -----------------------------------------------------------
+
+  /// Linearizable connectivity: label validation on a double hit, otherwise
+  /// publish both chains and retry once, finally Listing 1 (the fallback is
+  /// the existing lock-free read, so a miss is never worse than no cache).
+  bool connected(Vertex u, Vertex v);
+
+  /// Component size / canonical representative, same hit-else-walk shape.
+  uint64_t component_size(Vertex u);
+  Vertex representative(Vertex u);
+
+  /// One query op of any is_query kind (mirrors Hdt::exec_query) — the
+  /// dispatch behind the facades' pure-read batch loops.
+  uint64_t exec_query(const Op& op);
+
+  /// Fill `out` (resized to num_vertices) with a consistent label array:
+  /// every entry validated against its component word under a stamp
+  /// unchanged across the scan (quiescent throughout). Misses are repaired
+  /// in place via walk_and_publish, so a quiescent call both succeeds and
+  /// leaves the cache fully warm. Returns false when concurrent membership
+  /// churn defeats every attempt (or the cache is globally disabled) —
+  /// callers fall back to per-vertex queries.
+  bool snapshot_labels(std::vector<Vertex>& out);
+
+  // --- writer hooks (called by ett::Forest on the level-0 structure) --------
+
+  void begin_update() noexcept;
+  /// Expire comp_[rep] before mutating its component. Returns the prior
+  /// word for a possible revalidate().
+  uint64_t invalidate(Vertex rep) noexcept;
+  /// cut_relink: membership unchanged — restore the pre-bracket word.
+  void revalidate(Vertex rep, uint64_t prior) noexcept;
+  void end_update() noexcept;
+
+  // --- switches -------------------------------------------------------------
+
+  /// Process-wide runtime kill switch (bench A/B sections and the mid-run
+  /// force-disable test). Disabled: every query routes straight to the
+  /// forest's existing read path and nothing is published. Re-enabling is
+  /// safe at any time — the writer hooks run regardless of the switch, so
+  /// membership changes during the disabled window expired their components
+  /// exactly as usual and stale words cannot hit.
+  static void set_globally_enabled(bool on) noexcept;
+  static bool globally_enabled() noexcept;
+
+  /// Construction-time knob: DC_LABEL_CACHE=0 makes the facades not build a
+  /// cache at all (default: on). Read once per process.
+  static bool env_enabled() noexcept;
+
+  /// Diagnostics (tests): structural brackets opened so far.
+  uint64_t brackets() const noexcept {
+    return stamp_.load(std::memory_order_relaxed) >> kWriterBits;
+  }
+
+ private:
+  // stamp_ layout: monotone bracket count in the high 48 bits, active-writer
+  // count in the low 16. begin_update's single fetch_add(kBeginOne + 1)
+  // increments both indivisibly — there is no window where a bracket is
+  // counted in one field but not the other, which is what makes the
+  // publisher's "writer-free and unchanged" check airtight.
+  static constexpr unsigned kWriterBits = 16;
+  static constexpr uint64_t kBeginOne = uint64_t{1} << kWriterBits;
+  static constexpr uint32_t stamp_writers(uint64_t s) noexcept {
+    return static_cast<uint32_t>(s & (kBeginOne - 1));
+  }
+
+  static constexpr uint64_t pack_word(uint32_t ver, uint32_t value) noexcept {
+    return (static_cast<uint64_t>(ver) << 32) | value;
+  }
+  static constexpr uint32_t word_ver(uint64_t w) noexcept {
+    return static_cast<uint32_t>(w >> 32);
+  }
+  static constexpr uint32_t word_value(uint64_t w) noexcept {
+    return static_cast<uint32_t>(w);
+  }
+  /// Even and nonzero: a published, stable era.
+  static constexpr bool is_era(uint32_t ver) noexcept {
+    return ver != 0 && (ver & 1) == 0;
+  }
+  /// The next odd version after w's (odd stays odd: a bracket overlapping
+  /// an unstable slot still has to move the version, or a publisher whose
+  /// walk predates the bracket could CAS stale data in).
+  static constexpr uint32_t next_odd(uint32_t ver) noexcept {
+    return (ver & 1) != 0 ? ver + 2 : ver + 1;
+  }
+
+  /// Longest parent chain published per miss; deeper chains publish a
+  /// prefix (treap depth is O(log n) w.h.p., so 64 covers any realistic n).
+  static constexpr std::size_t kChainCap = 64;
+  static constexpr int kSnapshotAttempts = 8;
+
+  /// The seqlock tree walk behind every miss: returns the validated root
+  /// vstat (the caller's fallback answer) and publishes the chain's labels
+  /// when no writer bracket overlapped the walk.
+  uint64_t walk_and_publish(Vertex u);
+
+  /// Hit-path label fetch: true iff labels_[i] carries era `*ver` for rep
+  /// `*rep` and comp_[*rep] is still at that version.
+  bool load_label(Vertex i, uint32_t* ver, uint32_t* rep) const noexcept {
+    const uint64_t w = labels_[i].load(std::memory_order_seq_cst);
+    const uint32_t v = word_ver(w);
+    if (!is_era(v)) return false;
+    const uint32_t r = word_value(w);
+    if (word_ver(comp_[r].load(std::memory_order_seq_cst)) != v) return false;
+    *ver = v;
+    *rep = r;
+    return true;
+  }
+
+  /// connected() hit attempt: 1 / 0, or -1 for a miss.
+  int try_connected(Vertex u, Vertex v) const noexcept;
+
+  ett::Forest* forest_;
+  Vertex n_;
+  std::atomic<uint64_t> stamp_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> labels_;
+  std::unique_ptr<std::atomic<uint64_t>[]> comp_;
+};
+
+}  // namespace condyn

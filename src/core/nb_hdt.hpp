@@ -11,6 +11,7 @@
 #include "core/edge_multiset.hpp"
 #include "core/edge_state.hpp"
 #include "core/ett.hpp"
+#include "core/label_cache.hpp"
 #include "core/sharded_map.hpp"
 #include "graph/graph.hpp"
 #include "util/elision_lock.hpp"
@@ -218,23 +219,43 @@ class NbHdt {
 class NbDc final : public DynamicConnectivity {
  public:
   NbDc(Vertex n, NbLockMode mode, std::string name, bool sampling = true)
-      : hdt_(n, mode, sampling), name_(std::move(name)) {}
+      : hdt_(n, mode, sampling), name_(std::move(name)) {
+    if (LabelCache::env_enabled())
+      cache_ = std::make_unique<LabelCache>(&hdt_.level0());
+  }
 
   bool add_edge(Vertex u, Vertex v) override { return hdt_.add_edge(u, v); }
   bool remove_edge(Vertex u, Vertex v) override {
     return hdt_.remove_edge(u, v);
   }
   bool connected(Vertex u, Vertex v) override {
-    return hdt_.connected(u, v);
+    return cache_ ? cache_->connected(u, v) : hdt_.connected(u, v);
   }
 
   /// Value queries run on the lock-free read path — the NB family's whole
   /// point is that queries never block, and size/representative are
-  /// queries.
+  /// queries. With the label cache built (DC_LABEL_CACHE, default on) they
+  /// hit the O(1) published labels first and fall back to the same
+  /// lock-free walk.
   uint64_t component_size(Vertex u) override {
-    return hdt_.component_size(u);
+    return cache_ ? cache_->component_size(u) : hdt_.component_size(u);
   }
-  Vertex representative(Vertex u) override { return hdt_.representative(u); }
+  Vertex representative(Vertex u) override {
+    return cache_ ? cache_->representative(u) : hdt_.representative(u);
+  }
+
+  /// Cache-backed consistent snapshot; base per-vertex scan when the cache
+  /// is absent or concurrent churn defeats the epoch validation.
+  ComponentsSnapshot components() override {
+    if (cache_ != nullptr) {
+      ComponentsSnapshot s;
+      if (cache_->snapshot_labels(s.labels)) {
+        s.consistent = true;
+        return s;
+      }
+    }
+    return DynamicConnectivity::components();
+  }
 
   /// Batched path: every operation is already lock-free or fine-grained, so
   /// there is no lock to amortize — the batch runs straight against the
@@ -254,13 +275,16 @@ class NbDc final : public DynamicConnectivity {
           value = hdt_.remove_edge(op.u, op.v) ? 1 : 0;
           break;
         case OpKind::kConnected:
-          value = hdt_.connected(op.u, op.v) ? 1 : 0;
+          value = cache_ ? (cache_->connected(op.u, op.v) ? 1 : 0)
+                         : (hdt_.connected(op.u, op.v) ? 1 : 0);
           break;
         case OpKind::kComponentSize:
-          value = hdt_.component_size(op.u);
+          value = cache_ ? cache_->component_size(op.u)
+                         : hdt_.component_size(op.u);
           break;
         case OpKind::kRepresentative:
-          value = hdt_.representative(op.u);
+          value = cache_ ? cache_->representative(op.u)
+                         : hdt_.representative(op.u);
           break;
       }
       r.set_op(i, op.kind, value);
@@ -276,6 +300,9 @@ class NbDc final : public DynamicConnectivity {
  private:
   NbHdt hdt_;
   std::string name_;
+  /// Declared after hdt_: destroyed first, detaching from the level-0
+  /// forest before it dies.
+  std::unique_ptr<LabelCache> cache_;
 };
 
 }  // namespace condyn

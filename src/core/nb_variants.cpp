@@ -12,6 +12,7 @@ VariantCaps nb_caps() {
   c.lock_free_reads = true;
   c.sized_components = true;       // lock-free seqlock double-collect over
   c.stable_representative = true;  // the root vcount/vmin augmentation
+  c.label_cache = true;            // epoch-published labels over F_0 (§8)
   return c;  // batches stay concurrent with other threads: not atomic_batch
 }
 

@@ -25,6 +25,9 @@ struct Counters {
   uint64_t replacement_searches = 0;
   uint64_t replacements_found = 0;
   uint64_t sampling_hits = 0;         ///< replacement found on the sampling fast path
+  uint64_t label_hits = 0;            ///< label-cache O(1) answers (DESIGN.md §8)
+  uint64_t label_misses = 0;          ///< label-cache fallbacks to the tree walk
+  uint64_t label_publishes = 0;       ///< chains published by walk_and_publish
 
   Counters& operator+=(const Counters& o) noexcept {
     reads += o.reads;
@@ -37,6 +40,9 @@ struct Counters {
     replacement_searches += o.replacement_searches;
     replacements_found += o.replacements_found;
     sampling_hits += o.sampling_hits;
+    label_hits += o.label_hits;
+    label_misses += o.label_misses;
+    label_publishes += o.label_publishes;
     return *this;
   }
 };

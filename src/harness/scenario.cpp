@@ -249,6 +249,19 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
               stripe(g.edges(), t, cfg.threads), cfg.read_percent,
               thread_seed(cfg, t), cfg.window_fraction);
         });
+
+  ScenarioCaps blocal_caps = local_caps;
+  blocal_caps.batched = true;
+  r.add("batch-component-local",
+        "the community-clustered sticky-run mix submitted as apply_batch "
+        "calls of batch_size ops: whole batches stay inside one community — "
+        "the locality regime the label cache's published epochs survive "
+        "longest",
+        blocal_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<ComponentLocalStream>(
+              g, cfg.read_percent, cfg.communities, cfg.seed, t,
+              cfg.run_length);
+        });
 }
 
 std::vector<Op> prefill_ops(Prefill p, const Graph& g, uint64_t seed) {

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <new>
 #include <utility>
@@ -37,10 +39,14 @@ namespace condyn {
 ///    allocation-heavy threads drain before touching a fresh slab — so
 ///    producer/consumer thread imbalance cannot grow memory unboundedly.
 ///
-/// Slabs live until process exit (the pool instance is a leaky singleton):
-/// recycled objects may be owned by any structure on any thread, so slab
-/// lifetime cannot be tied to any structure or thread. Resident bytes are
-/// tracked in pool_stats::resident_bytes().
+/// Slabs normally live until process exit (the pool instance is a leaky
+/// singleton): recycled objects may be owned by any structure on any thread,
+/// so slab lifetime cannot be tied to any structure or thread. The one safe
+/// exception is decay(): a slab whose every cell sits on the shared free
+/// list is provably owned by nobody and may be returned to the OS once it
+/// has stayed that idle for DC_POOL_DECAY EBR epochs — the release valve
+/// that lets a long-lived service's high-water churn footprint drain back
+/// down. Resident bytes are tracked in pool_stats::resident_bytes().
 ///
 /// `Align` selects the object stride: ett::Node uses kCacheLine so hot
 /// treap nodes never false-share; the small cells keep natural alignment
@@ -114,6 +120,110 @@ class NodePool {
         [](void* q) { NodePool::instance().destroy(static_cast<T*>(q)); });
   }
 
+  /// Spill the calling thread's cached free cells to the shared list, so a
+  /// subsequent decay() sees them. Quiesce points (and the decay test) call
+  /// this; threads that simply exit spill automatically.
+  void flush_local() {
+    Local& st = local();
+    if (st.head != nullptr) spill_all(st);
+  }
+
+  /// DC_POOL_DECAY: EBR epochs a fully-idle slab must age before decay()
+  /// frees it (default 2). Pure hysteresis policy — safety comes from the
+  /// all-cells-on-the-shared-list check, not from the age.
+  static uint64_t decay_epochs() noexcept {
+    static const uint64_t n = [] {
+      const char* e = std::getenv("DC_POOL_DECAY");
+      return e != nullptr ? std::strtoull(e, nullptr, 10) : uint64_t{2};
+    }();
+    return n;
+  }
+
+  std::size_t decay() { return decay(decay_epochs()); }
+
+  /// Free fully-idle slabs; returns how many were released to the OS.
+  ///
+  /// A slab is freeable exactly when all kSlabObjects of its cells sit on
+  /// the shared free list: then no cell is a live object, none is cached on
+  /// a thread's local list, none is pending in an EBR bucket, and the bump
+  /// allocator is done with it (a partially-carved slab has handed out
+  /// fewer than kSlabObjects cells, so it can never reach the full count).
+  /// Both locks are held from the count through the unlink to the free, so
+  /// no cell can be popped in between. The epoch stamp adds the N-quiescent-
+  /// epochs hysteresis: a slab is freed only when two decay() passes at
+  /// least min_idle_epochs of EBR epoch apart both saw it fully idle, with
+  /// any activity between passes resetting the stamp at the next pass.
+  std::size_t decay(uint64_t min_idle_epochs) {
+    if (!pool_stats::pooling_enabled()) return 0;
+    std::lock_guard<SpinLock> lk_shared(shared_mu_);
+    std::lock_guard<SpinLock> lk_slabs(slabs_mu_);  // order: shared → slabs
+    if (slabs_.empty()) return 0;
+    constexpr std::size_t kNone = ~std::size_t{0};
+    const std::size_t bytes = stride() * kSlabObjects;
+
+    // Sorted base index so each free cell finds its owning slab in
+    // O(log #slabs).
+    std::vector<std::pair<std::byte*, std::size_t>> order;
+    order.reserve(slabs_.size());
+    for (std::size_t i = 0; i < slabs_.size(); ++i)
+      order.emplace_back(slabs_[i].base, i);
+    std::sort(order.begin(), order.end());
+    auto owner = [&](void* p) -> std::size_t {
+      auto* cell = static_cast<std::byte*>(p);
+      auto it = std::upper_bound(
+          order.begin(), order.end(), cell,
+          [](std::byte* c, const auto& s) { return c < s.first; });
+      if (it == order.begin()) return kNone;
+      --it;
+      return cell < it->first + bytes ? it->second : kNone;
+    };
+
+    std::vector<std::size_t> counts(slabs_.size(), 0);
+    for (FreeNode* n = shared_head_; n != nullptr; n = n->next) {
+      const std::size_t i = owner(n);
+      if (i != kNone) ++counts[i];
+    }
+
+    const uint64_t now = ebr::Domain::global().epoch();
+    std::vector<bool> doomed(slabs_.size(), false);
+    std::size_t freed = 0;
+    for (std::size_t i = 0; i < slabs_.size(); ++i) {
+      if (counts[i] != kSlabObjects) {
+        slabs_[i].idle_since = 0;
+        continue;
+      }
+      if (slabs_[i].idle_since == 0) slabs_[i].idle_since = now;
+      if (now - slabs_[i].idle_since >= min_idle_epochs) {
+        doomed[i] = true;
+        ++freed;
+      }
+    }
+    if (freed == 0) return 0;
+
+    // Unlink every cell of a doomed slab, then release the slabs.
+    FreeNode** link = &shared_head_;
+    while (*link != nullptr) {
+      const std::size_t i = owner(*link);
+      if (i != kNone && doomed[i]) {
+        *link = (*link)->next;
+        --shared_count_;
+      } else {
+        link = &(*link)->next;
+      }
+    }
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < slabs_.size(); ++i) {
+      if (doomed[i]) {
+        ::operator delete(slabs_[i].base, std::align_val_t{slab_align()});
+        pool_stats::add_resident(-static_cast<int64_t>(bytes));
+        continue;
+      }
+      slabs_[w++] = slabs_[i];
+    }
+    slabs_.resize(w);
+    return freed;
+  }
+
  private:
   struct FreeNode {
     FreeNode* next;
@@ -174,7 +284,7 @@ class NodePool {
       st_counters.bytes_allocated += bytes;
       pool_stats::add_resident(static_cast<int64_t>(bytes));
       std::lock_guard<SpinLock> lk(slabs_mu_);
-      slabs_.push_back(st.slab_cur);
+      slabs_.push_back({st.slab_cur, 0});
     }
     void* raw = st.slab_cur;
     st.slab_cur += stride();
@@ -233,8 +343,16 @@ class NodePool {
   FreeNode* shared_head_ = nullptr;
   std::size_t shared_count_ = 0;
 
+  /// Registry entry: keeps the slab LSan-reachable and carries the decay
+  /// hysteresis stamp (the EBR epoch at which the slab was first observed
+  /// fully idle; 0 = not currently idle — the global epoch starts at 2).
+  struct SlabInfo {
+    std::byte* base;
+    uint64_t idle_since;
+  };
+
   SpinLock slabs_mu_;
-  std::vector<std::byte*> slabs_;  // registry: keeps slabs LSan-reachable
+  std::vector<SlabInfo> slabs_;
 };
 
 }  // namespace condyn

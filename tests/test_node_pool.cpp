@@ -152,6 +152,73 @@ TEST(NodePoolStress, MultisetRecycleUnderScan) {
   scanner.join();
 }
 
+// Slab decay: after a churn burst is fully undone and every cell has
+// drained to the shared free list, decay() returns the slabs to the OS and
+// the high-water resident footprint drops — the release valve a long-lived
+// service needs. Safety hinges on the all-cells-shared check: the test also
+// verifies that a slab with even one live object survives every pass.
+TEST(NodePool, SlabDecayReleasesIdleSlabs) {
+  if (!pool_stats::pooling_enabled()) GTEST_SKIP() << "DC_POOL=0";
+  struct Churn {  // dedicated type: this pool's slabs are all ours
+    uint64_t x = 0;
+  };
+  using Pool = NodePool<Churn>;
+  auto& pool = Pool::instance();
+
+  // Burst: exactly three slabs' worth, so the bump allocator finishes every
+  // slab it starts (no partially-carved tail pinning one).
+  constexpr std::size_t kN = Pool::kSlabObjects * 3;
+  std::vector<Churn*> live;
+  live.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) live.push_back(pool.create());
+  const int64_t high_water = pool_stats::resident_bytes();
+
+  // Keep one object alive: its slab must survive decay.
+  Churn* survivor = live.back();
+  live.pop_back();
+  for (Churn* p : live) pool.destroy(p);
+  pool.flush_local();  // local cache → shared list, as a quiesce point would
+
+  // First pass stamps the idle slabs; with min_idle 0 it frees them in the
+  // same call (the default DC_POOL_DECAY hysteresis is exercised implicitly:
+  // a nonzero age requirement just needs a later pass).
+  const std::size_t freed = pool.decay(0);
+  EXPECT_EQ(freed, 2u) << "two fully-idle slabs; the survivor pins the third";
+  EXPECT_LE(pool_stats::resident_bytes(),
+            high_water - static_cast<int64_t>(2 * Pool::stride() *
+                                              Pool::kSlabObjects));
+
+  // The surviving slab still works: allocate its cells back out.
+  std::vector<Churn*> again;
+  for (std::size_t i = 0; i + 1 < Pool::kSlabObjects; ++i)
+    again.push_back(pool.create());
+  pool.destroy(survivor);
+  for (Churn* p : again) pool.destroy(p);
+  pool.flush_local();
+  EXPECT_EQ(pool.decay(0), 1u) << "now fully idle, the last slab decays too";
+}
+
+// A slab observed idle is only freed after it stays idle DC_POOL_DECAY
+// epochs: activity between passes resets the stamp.
+TEST(NodePool, SlabDecayHysteresisSparesRecentlyActiveSlabs) {
+  if (!pool_stats::pooling_enabled()) GTEST_SKIP() << "DC_POOL=0";
+  struct Hyst {
+    uint64_t x = 0;
+  };
+  using Pool = NodePool<Hyst>;
+  auto& pool = Pool::instance();
+  std::vector<Hyst*> live;
+  for (std::size_t i = 0; i < Pool::kSlabObjects; ++i)
+    live.push_back(pool.create());
+  for (Hyst* p : live) pool.destroy(p);
+  pool.flush_local();
+  // A huge age requirement: the pass stamps the idle slab but must not free
+  // it (the EBR epoch cannot have advanced that far within one process).
+  EXPECT_EQ(pool.decay(uint64_t{1} << 32), 0u);
+  // Zero age: the already-stamped slab goes immediately.
+  EXPECT_EQ(pool.decay(0), 1u);
+}
+
 TEST(NodePool, ResidentBytesTracked) {
   if (!pool_stats::pooling_enabled()) GTEST_SKIP() << "DC_POOL=0";
   // The stress tests above forced slab allocation; the global footprint

@@ -55,7 +55,7 @@ Graph tiny_graph() { return gen::erdos_renyi(24, 60, 3); }
 
 TEST(ScenarioRegistry, EnumeratesTheBuiltins) {
   const auto& scenarios = harness::all_scenarios();
-  EXPECT_GE(scenarios.size(), 14u);
+  EXPECT_GE(scenarios.size(), 15u);
   // Ids are sequential in registration order, names unique.
   std::set<std::string> names;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -66,7 +66,7 @@ TEST(ScenarioRegistry, EnumeratesTheBuiltins) {
        {"random", "incremental", "decremental", "batch-random",
         "batch-incremental", "zipfian", "sliding-window", "component-local",
         "trace-replay", "trace-replay-dep", "size-query", "bulk-connected",
-        "batch-zipfian", "batch-window"}) {
+        "batch-zipfian", "batch-window", "batch-component-local"}) {
     const ScenarioInfo* s = harness::find_scenario(name);
     ASSERT_NE(s, nullptr) << name;
     EXPECT_STREQ(s->name, name);
@@ -91,6 +91,13 @@ TEST(ScenarioRegistry, EnumeratesTheBuiltins) {
   EXPECT_FALSE(harness::find_scenario("bulk-connected")->caps.uses_read_percent);
   EXPECT_TRUE(harness::find_scenario("batch-zipfian")->caps.batched);
   EXPECT_TRUE(harness::find_scenario("batch-window")->caps.batched);
+  // The batched community-locality mix keeps the unbatched scenario's knobs.
+  EXPECT_TRUE(harness::find_scenario("batch-component-local")->caps.batched);
+  EXPECT_TRUE(
+      harness::find_scenario("batch-component-local")->caps.uses_read_percent);
+  EXPECT_EQ(harness::find_scenario("batch-component-local")->caps.prefill,
+            harness::Prefill::kHalf);
+  EXPECT_FALSE(harness::find_scenario("batch-component-local")->caps.finite);
   EXPECT_EQ(harness::find_scenario("bulk-connected")->caps.prefill,
             harness::Prefill::kHalf);
 }
