@@ -123,19 +123,24 @@ uint64_t LabelCache::walk_and_publish(Vertex u) {
     ++st.read_retries;
   }
 
-  // Quiescence: writers == 0 at s1 and the stamp unchanged since means no
-  // bracket overlapped the walk — none was open at s1 (every earlier
-  // bracket's end RMW precedes the value we read in stamp_'s modification
-  // order, so its mutations are visible), and the monotone begins bits rule
-  // out one that came and went. The walk therefore saw the stable state of
-  // u's component. A bracket opening after the re-check is caught by the
-  // comp_ CAS below: its invalidate() moves the version before any
-  // physical change, so our expected value — read inside the quiescent
-  // window — no longer matches.
+  // Quiescence: writers == 0 at s1 and the stamp unchanged at the re-check
+  // below means no bracket overlapped the walk — none was open at s1 (every
+  // earlier bracket's end RMW precedes the value we read in stamp_'s
+  // modification order, so its mutations are visible), and the monotone
+  // begins bits rule out one that came and went. The walk therefore saw the
+  // stable state of u's component. The comp_ word — the CAS expected value —
+  // must be loaded BEFORE the stamp re-check so it too lies inside the
+  // quiescent window: a bracket opening before the re-check fails the
+  // re-check, and one opening after fails the CAS below, because its
+  // invalidate() moves the version before any physical change. (Loading it
+  // after the re-check would let a bracket land in between and have its
+  // odd invalidation word adopted as expected — the CAS would then install
+  // a fresh era carrying pre-bracket membership while the bracket is still
+  // open, and nothing would ever expire it.)
+  const Vertex rep = ett::Node::vstat_min(stat);
+  const uint32_t count = ett::Node::vstat_count(stat);
+  uint64_t wc = can_publish ? comp_[rep].load(std::memory_order_seq_cst) : 0;
   if (can_publish && stamp_.load(std::memory_order_seq_cst) == s1) {
-    const Vertex rep = ett::Node::vstat_min(stat);
-    const uint32_t count = ett::Node::vstat_count(stat);
-    uint64_t wc = comp_[rep].load(std::memory_order_seq_cst);
     uint32_t era = 0;
     if (is_era(word_ver(wc))) {
       // An era is already live for this component; our quiescent walk must
@@ -174,8 +179,12 @@ int LabelCache::try_connected(Vertex u, Vertex v) const noexcept {
     return va == vb ? 1 : -1;
   }
   // Distinct reps: each label was valid at its own comp_ load; re-reading
-  // the first slot brackets the second's validation, and per-slot versions
-  // are monotone, so an unchanged re-read means era-a spanned era-b's
+  // the first slot brackets the second's validation. Per-slot versions are
+  // NOT monotone — revalidate() restores an older word (v -> v+1 -> v) — so
+  // an unchanged re-read is not proof of no intervening writes. It is still
+  // proof of membership: the only way the slot returns to era va is via
+  // revalidate, which by contract means era va's membership never changed.
+  // Hence u's membership under era va held continuously across era vb's
   // validation instant — both memberships held at once, and distinct
   // canonical (min-id) representatives at one instant are distinct
   // components.

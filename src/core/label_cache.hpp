@@ -66,10 +66,12 @@ namespace condyn {
 ///    (era semantics: membership of r's component cannot change within an
 ///    era, because every change CASes the version odd before mutating).
 ///    connected() needs both endpoints valid *simultaneously*: after
-///    validating each, it re-reads the first component word — versions are
-///    monotone per slot, so two unequal-rep validations bracketed by an
-///    unchanged re-read give overlapping eras, and distinct canonical reps
-///    in overlapping eras means distinct components.
+///    validating each, it re-reads the first component word. Versions are
+///    not monotone per slot (revalidate restores an older word), but a slot
+///    can only return to era v via revalidate, which guarantees era v's
+///    membership is unchanged — so an unchanged re-read means the first
+///    era's membership spanned the second's validation instant, and
+///    distinct canonical reps at one instant are distinct components.
 ///  * miss: walk_and_publish — an EBR-pinned seqlock walk identical in
 ///    structure to Forest::root_vstat_nonblocking that additionally
 ///    collects the vertex ids on u's parent chain. If the packed stamp is
@@ -85,8 +87,13 @@ namespace condyn {
 ///
 /// Versions are 32-bit and wrap; a stale hit would need 2^31 membership
 /// changes of one component between a label store and its use, with the
-/// version landing back on the exact era value — not reachable in practice
-/// (the wrap also skips 0, the reserved never-hits value).
+/// version landing back on the exact era value — not reachable in practice.
+/// The wrap skips 0 (the reserved never-hits value) on the invalidate side:
+/// next_odd(0xFFFFFFFF) wraps to 1. On the publish side a slot sitting at
+/// 0xFFFFFFFF computes next-even 0, which is not an era, so no era is
+/// installed and that component stays cold (every query takes the slow
+/// walk) until its next structural update moves the version to 1 —
+/// deliberately: jumping to 2 instead could revive ancient era-2 labels.
 ///
 /// Lifetime: the facade owns the cache and declares it after its engine, so
 /// the destructor detaches from the forest before the forest dies.
