@@ -14,7 +14,8 @@
 // THREADS / SCALE / SEED / FULL / VARIANTS / SCENARIOS / READS / BATCH /
 // TRACE, plus suite-specific:
 //   DC_BENCH_SECTIONS  comma list of sections to run (default
-//                      "graphs,sweep,stats,retries,ablation,dsu,memory,labels")
+//                      "graphs,sweep,batchpar,stats,retries,ablation,dsu,
+//                      memory,labels")
 //   DC_BENCH_JSON      JSON output path (default "bench_suite.json")
 #include <algorithm>
 #include <cstdlib>
@@ -79,10 +80,10 @@ std::vector<const ScenarioInfo*> selected_scenarios(const EnvConfig& env) {
 }
 
 void add_sweep_record(JsonReport& json, const ScenarioInfo& s, const Graph& g,
-                      int variant_id, const RunConfig& cfg,
-                      const RunResult& r) {
+                      int variant_id, const RunConfig& cfg, const RunResult& r,
+                      const char* section = "sweep") {
   json.add_record()
-      .field("section", "sweep")
+      .field("section", section)
       .field("scenario", s.name)
       .field("graph", g.name)
       .field("variant", bench::variant_label(variant_id))
@@ -188,6 +189,67 @@ void sweep_section(const EnvConfig& env, JsonReport& json) {
       report.print();
     }
   }
+}
+
+/// The internally-parallel-batch head-to-head: pbd (variant 14, one worker
+/// gang inside apply_batch) vs parallel-combining (the strongest externally
+/// batched family) on the two contended batch scenarios, at a *pinned*
+/// thread ladder {1, 8} and every DC_BENCH_BATCH_SIZES entry. Threads are
+/// pinned rather than taken from DC_BENCH_THREADS so the checked-in
+/// baseline's acceptance records — pbd >= parallel-combining ops/ms at 8
+/// harness threads, batch >= 1024 — reproduce from the smoke env unchanged.
+/// Records carry section "batchpar": bench_diff gates only "sweep" and
+/// "memory", so the head-to-head is tracked without double-gating the same
+/// configurations the sweep already covers.
+void batchpar_section(const EnvConfig& env, JsonReport& json) {
+  static constexpr const char* kScenarios[] = {"batch-zipfian",
+                                               "batch-window"};
+  static constexpr const char* kVariants[] = {"parallel-combining", "pbd"};
+  static constexpr unsigned kThreads[] = {1, 8};
+  const std::vector<Graph> small = bench::small_graphs(env);
+  if (small.empty()) return;
+  const Graph& g = small.front();  // one graph keeps the smoke run quick
+  TableReport table("Internally parallel batches: pbd vs parallel-combining",
+                    {"scenario", "reads%", "batch", "threads", "variant",
+                     "ops/ms"});
+  for (const char* sname : kScenarios) {
+    const ScenarioInfo* s = harness::find_scenario(sname);
+    if (s == nullptr) continue;
+    const std::vector<int> reads = s->caps.uses_read_percent
+                                       ? env.read_percents
+                                       : std::vector<int>{0};
+    for (int read_percent : reads) {
+      for (std::size_t bs : env.batch_sizes) {
+        for (unsigned threads : kThreads) {
+          double ops[2] = {0, 0};
+          for (int vi = 0; vi < 2; ++vi) {
+            const VariantInfo* v = find_variant(kVariants[vi]);
+            if (v == nullptr) continue;
+            RunConfig cfg = base_config(env);
+            cfg.threads = threads;
+            cfg.read_percent = read_percent;
+            cfg.batch_size = bs;
+            auto dc = make_variant(v->id, g.num_vertices());
+            const RunResult r = harness::run_scenario(*s, *dc, g, cfg);
+            ops[vi] = r.ops_per_ms;
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.1f", r.ops_per_ms);
+            table.add_row({s->name, std::to_string(read_percent),
+                           std::to_string(bs), std::to_string(threads),
+                           v->name, buf});
+            add_sweep_record(json, *s, g, v->id, cfg, r, "batchpar");
+          }
+          if (ops[0] > 0 && ops[1] > 0) {
+            std::printf(
+                "# batchpar %s reads=%d batch=%zu threads=%u: "
+                "pbd/parallel-combining = %.2fx\n",
+                s->name, read_percent, bs, threads, ops[1] / ops[0]);
+          }
+        }
+      }
+    }
+  }
+  table.print();
 }
 
 /// Tables 1-2: the benchmark graph inventory — |V|, |E|, degree and
@@ -664,12 +726,14 @@ int main(int argc, char** argv) {
 
   for (const std::string& section :
        harness::env_list("DC_BENCH_SECTIONS",
-                         "graphs,sweep,stats,retries,ablation,dsu,memory,"
-                         "labels")) {
+                         "graphs,sweep,batchpar,stats,retries,ablation,dsu,"
+                         "memory,labels")) {
     if (section == "graphs") {
       graphs_section(env, json);
     } else if (section == "sweep") {
       sweep_section(env, json);
+    } else if (section == "batchpar") {
+      batchpar_section(env, json);
     } else if (section == "stats") {
       stats_section(env, json);
     } else if (section == "retries") {

@@ -42,10 +42,10 @@ trap 'rm -f "$sample_trace" "$sample_v1" "$sample_rt" "$sample_reads" "$trace" "
   --reads 80 --size-queries | grep -q "version:      3"
 ./build/trace_convert info "$sample_reads" > /dev/null
 
-./build/bench_suite --list > /dev/null
+./build/bench_suite --list | grep -q "Variants (14 registered)"
 DC_BENCH_SCALE=0.01 ./build/bench_suite --record random "$trace" 2000
 DC_BENCH_MILLIS=20 DC_BENCH_WARMUP=5 DC_BENCH_THREADS=1,2 \
-  DC_BENCH_SCALE=0.01 DC_BENCH_READS=80 DC_BENCH_BATCH=16 \
+  DC_BENCH_SCALE=0.01 DC_BENCH_READS=80 DC_BENCH_BATCH_SIZES=16,1024 \
   DC_BENCH_VARIANTS=coarse,full DC_BENCH_TRACE="$trace" \
   DC_BENCH_JSON="$json" ./build/bench_suite > /dev/null
 python3 -c "
@@ -65,6 +65,11 @@ assert bulk and all(r['batches'] > 0 for r in bulk), 'bulk-connected batched rec
 lab = [r for r in d['results'] if r['section'] == 'labels']
 assert {r['label_cache'] for r in lab} == {0, 1}, 'labels section must record cache-on and cache-off rows'
 assert any(r['label_cache'] == 1 and r['label_hits'] > 0 for r in lab), 'label cache never hit in the labels smoke'
+bp = [r for r in d['results'] if r['section'] == 'batchpar']
+assert {r['variant'] for r in bp} == {'pbd', 'parallel-combining'}, 'batchpar head-to-head incomplete'
+acc = [r for r in bp if r['variant'] == 'pbd' and r['batch_size'] >= 1024 and r['threads'] == 8]
+assert {r['scenario'] for r in acc} == {'batch-zipfian', 'batch-window'} and \
+    all(r['ops_per_ms'] > 0 for r in acc), 'pbd acceptance records (batch >= 1024, 8 threads) missing'
 print(f'bench_suite smoke: {len(d[\"results\"])} JSON records, {n} scenarios')
 "
 
@@ -78,10 +83,10 @@ if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DCONDYN_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" \
     --target test_concurrent test_nb_hdt test_scenarios test_replay_dep \
-             test_query_api test_label_cache
+             test_query_api test_label_cache test_batch test_pbd
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
     --output-on-failure -j 2 \
-    -R 'test_concurrent|test_nb_hdt|test_scenarios|test_replay_dep|test_query_api|test_label_cache'
+    -R 'test_concurrent|test_nb_hdt|test_scenarios|test_replay_dep|test_query_api|test_label_cache|test_batch|test_pbd'
 fi
 
 echo "check.sh: all green"

@@ -1,0 +1,310 @@
+#include "core/pbd_dc.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/batch_runs.hpp"
+#include "core/component_lock.hpp"
+
+namespace condyn {
+
+PbdDc::PbdDc(Vertex n, std::string name, bool sampling, unsigned workers,
+             std::size_t par_read_cutoff, std::size_t par_update_cutoff)
+    : hdt_(n, sampling),
+      name_(std::move(name)),
+      par_read_cutoff_(par_read_cutoff),
+      par_update_cutoff_(par_update_cutoff),
+      pool_(workers) {
+  part_scratch_.resize(pool_.workers());
+  part_nets_.resize(pool_.workers());
+  part_counts_.resize(pool_.workers());
+}
+
+bool PbdDc::add_edge(Vertex u, Vertex v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hdt_.add_edge(u, v).performed;
+}
+
+bool PbdDc::remove_edge(Vertex u, Vertex v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hdt_.remove_edge(u, v).performed;
+}
+
+/// Phase 1: per-edge simulation. Each gang member owns the edges whose
+/// edge_partition_hash lands in its partition, sorts its share of the
+/// update ops by canonical edge key (ties broken by batch position, so a
+/// group is that edge's ops in batch order), and replays each group against
+/// the edge's initial presence. Return values come straight out of the
+/// replay — an add/remove result depends only on its own edge's prior
+/// history, never on queries or other edges — and the engine is asked to
+/// materialize only the *net* state change per run: interleaved add/remove
+/// pairs on one edge cancel before any tree work happens.
+void PbdDc::preprocess(std::span<const Op> ops, BatchResult& r) {
+  const unsigned gang = pool_.workers();
+  const unsigned P =
+      (gang > 1 && upd_pos_.size() >= 2 * par_update_cutoff_) ? gang : 1;
+
+  auto simulate = [&](unsigned p) {
+    std::vector<uint32_t>& mine = part_scratch_[p];
+    std::vector<NetOp>& nets = part_nets_[p];
+    mine.clear();
+    nets.clear();
+    for (uint32_t k = 0; k < upd_pos_.size(); ++k) {
+      const Op& o = ops[upd_pos_[k]];
+      if (P == 1 || edge_partition_hash(o.u, o.v) % P == p) mine.push_back(k);
+    }
+    std::sort(mine.begin(), mine.end(), [&](uint32_t a, uint32_t b) {
+      const uint64_t ka = Edge(ops[upd_pos_[a]].u, ops[upd_pos_[a]].v).key();
+      const uint64_t kb = Edge(ops[upd_pos_[b]].u, ops[upd_pos_[b]].v).key();
+      return ka != kb ? ka < kb : a < b;
+    });
+    uint64_t adds = 0, removes = 0;
+    std::size_t s = 0;
+    while (s < mine.size()) {
+      const Op& first = ops[upd_pos_[mine[s]]];
+      const Edge e(first.u, first.v);
+      std::size_t t = s;
+      while (t < mine.size() &&
+             Edge(ops[upd_pos_[mine[t]]].u, ops[upd_pos_[mine[t]]].v) == e) {
+        ++t;
+      }
+      const bool self_loop = e.u == e.v;
+      // The structure is quiescent during preprocessing (batch mutex held,
+      // no engine op issued yet), so the presence read is a plain lookup.
+      bool cur = !self_loop && hdt_.has_edge(e.u, e.v);
+      bool materialized = cur;
+      uint32_t prev_run = run_of_[mine[s]];
+      for (std::size_t q = s; q < t; ++q) {
+        const uint32_t pos = mine[q];
+        const Op& o = ops[upd_pos_[pos]];
+        const uint32_t run = run_of_[pos];
+        if (run != prev_run && cur != materialized) {
+          nets.push_back({prev_run, cur ? OpKind::kAdd : OpKind::kRemove,
+                          e.u, e.v});
+          materialized = cur;
+        }
+        bool res;
+        if (o.kind == OpKind::kAdd) {
+          res = !self_loop && !cur;
+          cur = cur || !self_loop;
+          adds += res;
+        } else {
+          res = cur;
+          cur = false;
+          removes += res;
+        }
+        r.values[upd_pos_[pos]] = res;
+        prev_run = run;
+      }
+      if (cur != materialized) {
+        nets.push_back({prev_run, cur ? OpKind::kAdd : OpKind::kRemove, e.u,
+                        e.v});
+      }
+      s = t;
+    }
+    part_counts_[p] = {adds, removes};
+  };
+
+  if (P == 1) {
+    simulate(0);
+    for (unsigned p = 1; p < gang; ++p) part_nets_[p].clear();
+  } else {
+    pool_.run(simulate);
+  }
+
+  for (unsigned p = 0; p < gang; ++p) {
+    r.adds_performed += part_counts_[p].first;
+    r.removes_performed += part_counts_[p].second;
+    if (P == 1) break;
+  }
+
+  // Bucket the surviving net ops by run (counting sort; order within a run
+  // is irrelevant — each edge appears at most once per run and distinct
+  // edges commute).
+  run_net_begin_.assign(num_runs_ + 1, 0);
+  for (unsigned p = 0; p < gang; ++p) {
+    for (const NetOp& n : part_nets_[p]) ++run_net_begin_[n.run + 1];
+  }
+  for (std::size_t k = 1; k <= num_runs_; ++k) {
+    run_net_begin_[k] += run_net_begin_[k - 1];
+  }
+  net_ops_.resize(run_net_begin_[num_runs_]);
+  std::vector<uint32_t> cursor(run_net_begin_.begin(),
+                               run_net_begin_.end() - 1);
+  for (unsigned p = 0; p < gang; ++p) {
+    for (const NetOp& n : part_nets_[p]) net_ops_[cursor[n.run]++] = n;
+  }
+}
+
+/// Phase 2: segment plan. Query stretches and surviving-net-op runs, in
+/// batch order; a run whose net ops all cancelled is dropped, which merges
+/// the query stretches around it into one longer (better-parallelizable)
+/// stretch — the cancelled updates' results were already written by the
+/// simulation, so execution just skips those indices.
+void PbdDc::build_segments(std::span<const Op> ops) {
+  segments_.clear();
+  const unsigned gang = pool_.workers();
+  bool read_open = false;
+  std::size_t read_queries = 0;
+  uint32_t run_ord = 0;
+  auto close_read = [&](std::size_t) {
+    if (read_open) {
+      segments_.back().parallel =
+          gang > 1 && read_queries >= par_read_cutoff_;
+      read_open = false;
+    }
+  };
+  for_each_batch_segment(
+      ops,
+      [&](std::size_t i) {
+        if (!read_open) {
+          segments_.push_back({true, false, static_cast<uint32_t>(i),
+                               static_cast<uint32_t>(i + 1)});
+          read_open = true;
+          read_queries = 0;
+        }
+        segments_.back().end = static_cast<uint32_t>(i + 1);
+        ++read_queries;
+      },
+      [&](std::size_t i, std::size_t j) {
+        const uint32_t nb = run_net_begin_[run_ord];
+        const uint32_t ne = run_net_begin_[run_ord + 1];
+        ++run_ord;
+        if (nb == ne) {
+          // Fully cancelled run: keep any open read stretch open across it.
+          if (read_open) segments_.back().end = static_cast<uint32_t>(j);
+          return;
+        }
+        close_read(i);
+        segments_.push_back(
+            {false, gang > 1 && ne - nb >= par_update_cutoff_, nb, ne});
+      });
+  close_read(ops.size());
+}
+
+void PbdDc::exec_read(std::span<const Op> ops, BatchResult& r,
+                      const Segment& s, unsigned worker, unsigned stride,
+                      std::atomic<uint64_t>& queries_true) {
+  uint64_t local_true = 0;
+  for (uint32_t i = s.begin + worker; i < s.end; i += stride) {
+    const Op& o = ops[i];
+    if (!is_query(o.kind)) continue;  // cancelled update inside the stretch
+    const uint64_t val = hdt_.exec_query(o);
+    r.values[i] = val;
+    local_true += (o.kind == OpKind::kConnected && val != 0);
+  }
+  if (local_true != 0) {
+    queries_true.fetch_add(local_true, std::memory_order_relaxed);
+  }
+}
+
+void PbdDc::exec_update(const Segment& s, unsigned worker, unsigned stride,
+                        bool guarded) {
+  for (uint32_t k = s.begin + worker; k < s.end; k += stride) {
+    const NetOp& n = net_ops_[k];
+    if (guarded) {
+      // Concurrent gang members follow the fine-family discipline: the
+      // Listing-2 component guard serializes spanning-forest repair of
+      // overlapping components and lets disjoint ones proceed in parallel.
+      ComponentGuard g(hdt_.level0(), n.u, n.v);
+      if (n.kind == OpKind::kAdd) {
+        hdt_.add_edge(n.u, n.v);
+      } else {
+        hdt_.remove_edge(n.u, n.v);
+      }
+    } else if (n.kind == OpKind::kAdd) {
+      hdt_.add_edge(n.u, n.v);
+    } else {
+      hdt_.remove_edge(n.u, n.v);
+    }
+  }
+}
+
+BatchResult PbdDc::apply_batch(std::span<const Op> ops) {
+  BatchResult r;
+  r.values.resize(ops.size());
+  if (ops.empty()) return r;
+  if (all_reads(ops)) {
+    // Pure-read exemption: a query-only batch runs as individual lock-free
+    // queries, exactly like the other lock_free_reads families.
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      r.set_op(i, ops[i].kind, hdt_.exec_query(ops[i]));
+    }
+    return r;
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+
+  if (pool_.workers() == 1) {
+    // Gang of one (single-core machine or DC_PBD_WORKERS=1): the plan could
+    // only ever produce sequential residue, so the simulate/sort/segment
+    // phases are pure overhead — go straight to the engine's batch loop.
+    // The blocking mutex still makes the batch atomic to concurrent callers.
+    hdt_.apply_batch(ops, r);
+    return r;
+  }
+
+  // Scan: update positions and their run ordinals (queries delimit runs).
+  upd_pos_.clear();
+  run_of_.clear();
+  num_runs_ = 0;
+  for_each_batch_segment(
+      ops, [](std::size_t) {},
+      [&](std::size_t i, std::size_t j) {
+        for (std::size_t k = i; k < j; ++k) {
+          upd_pos_.push_back(static_cast<uint32_t>(k));
+          run_of_.push_back(static_cast<uint32_t>(num_runs_));
+        }
+        ++num_runs_;
+      });
+
+  preprocess(ops, r);
+  build_segments(ops);
+
+  std::atomic<uint64_t> queries_true{0};
+  bool any_parallel = false;
+  for (const Segment& s : segments_) any_parallel |= s.parallel;
+
+  if (!any_parallel) {
+    // Sequential residue only: the leader applies the plan directly, with
+    // no guards (the batch mutex makes it the sole writer).
+    for (const Segment& s : segments_) {
+      if (s.read) {
+        exec_read(ops, r, s, 0, 1, queries_true);
+      } else {
+        exec_update(s, 0, 1, /*guarded=*/false);
+      }
+    }
+  } else {
+    const unsigned gang = pool_.workers();
+    SpinBarrier barrier(gang);
+    pool_.run([&](unsigned w) {
+      for (const Segment& s : segments_) {
+        if (!s.parallel) {
+          // Sequential residue: the leader runs it while the gang coasts to
+          // the next fan-out barrier (it is guaranteed idle — the previous
+          // parallel segment's exit barrier has been passed).
+          if (w == 0) {
+            if (s.read) {
+              exec_read(ops, r, s, 0, 1, queries_true);
+            } else {
+              exec_update(s, 0, 1, /*guarded=*/false);
+            }
+          }
+          continue;
+        }
+        barrier.arrive_and_wait();
+        if (s.read) {
+          exec_read(ops, r, s, w, gang, queries_true);
+        } else {
+          exec_update(s, w, gang, /*guarded=*/true);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  r.queries_true = queries_true.load(std::memory_order_relaxed);
+  return r;
+}
+
+}  // namespace condyn

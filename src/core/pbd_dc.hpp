@@ -1,0 +1,116 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/dynamic_connectivity.hpp"
+#include "core/hdt.hpp"
+#include "util/task_pool.hpp"
+
+namespace condyn {
+
+/// (14) pbd — the parallel batch-dynamic variant: one apply_batch call is
+/// itself a parallel program (DESIGN.md §9). Where every other family
+/// serializes a batch through one lock, one combiner or one engine pass,
+/// PbdDc pipelines it through three phases over a persistent fork-join gang
+/// (TaskPool, DC_PBD_WORKERS):
+///
+///  1. *preprocess* — partition the batch's update ops across the gang by
+///     edge_partition_hash, sort each partition by canonical edge key, and
+///     simulate every same-edge group against its initial presence: all
+///     update return values fall out (an update's result depends only on its
+///     own edge's history), and consecutive add/remove pairs cancel into at
+///     most one *net* engine op per edge per run;
+///  2. *group* — queries are reorder barriers (batch_runs.hpp), so the batch
+///     decomposes into query stretches and update runs; runs whose net ops
+///     all cancelled disappear entirely, merging the neighboring stretches;
+///  3. *apply* — the gang walks the segment plan in lockstep: long query
+///     stretches fan out over the workers on the lock-free read path, long
+///     net-op runs fan out under per-component Listing-2 guards (spanning-
+///     forest repair included), and everything below the fan-out cutoffs is
+///     the sequential residue the leader applies directly.
+///
+/// Synchronization: an update-containing batch (and every single-op update)
+/// holds one blocking mutex, so batches are atomic with respect to
+/// concurrent update callers (caps.atomic_batch) — waiters park instead of
+/// spinning, which is also what lets the gang own the cores. Reads —
+/// single-op queries and pure-read batches — never touch the mutex: they run
+/// the engine's lock-free Listing-1 paths (caps.lock_free_reads).
+class PbdDc final : public DynamicConnectivity {
+ public:
+  /// `workers` is the gang size including the caller (0 = DC_PBD_WORKERS
+  /// default); the cutoffs are the minimum segment sizes worth fanning out
+  /// (tests lower them to force the parallel paths on tiny batches).
+  explicit PbdDc(Vertex n, std::string name, bool sampling = true,
+                 unsigned workers = 0, std::size_t par_read_cutoff = 32,
+                 std::size_t par_update_cutoff = 8);
+
+  bool add_edge(Vertex u, Vertex v) override;
+  bool remove_edge(Vertex u, Vertex v) override;
+
+  bool connected(Vertex u, Vertex v) override { return hdt_.connected(u, v); }
+  uint64_t component_size(Vertex u) override {
+    return hdt_.component_size(u);
+  }
+  Vertex representative(Vertex u) override { return hdt_.representative(u); }
+
+  BatchResult apply_batch(std::span<const Op> ops) override;
+
+  Vertex num_vertices() const override { return hdt_.num_vertices(); }
+  std::string name() const override { return name_; }
+
+  unsigned workers() const noexcept { return pool_.workers(); }
+  Hdt& engine() noexcept { return hdt_; }
+
+ private:
+  /// One materialization op: the surviving net effect of an edge's update
+  /// group within one run, applied to the engine at that run's end.
+  struct NetOp {
+    uint32_t run;
+    OpKind kind;  // kAdd or kRemove
+    Vertex u, v;
+  };
+
+  /// One step of the execution plan: a query stretch (batch index range;
+  /// non-query indices inside are cancelled updates and are skipped) or an
+  /// update run (range into net_ops_).
+  struct Segment {
+    bool read;
+    bool parallel;
+    uint32_t begin, end;
+  };
+
+  void preprocess(std::span<const Op> ops, BatchResult& r);
+  void build_segments(std::span<const Op> ops);
+  void exec_read(std::span<const Op> ops, BatchResult& r, const Segment& s,
+                 unsigned worker, unsigned stride,
+                 std::atomic<uint64_t>& queries_true);
+  void exec_update(const Segment& s, unsigned worker, unsigned stride,
+                   bool guarded);
+
+  Hdt hdt_;
+  std::string name_;
+  std::mutex mu_;  ///< update/batch exclusion; waiters block, never spin
+  const std::size_t par_read_cutoff_;
+  const std::size_t par_update_cutoff_;
+
+  // Plan scratch, reused across batches; touched only under mu_.
+  std::vector<uint32_t> upd_pos_;  ///< update batch indices, batch order
+  std::vector<uint32_t> run_of_;   ///< run ordinal per upd_pos_ entry
+  std::size_t num_runs_ = 0;
+  std::vector<std::vector<uint32_t>> part_scratch_;  ///< per-worker sort keys
+  std::vector<std::vector<NetOp>> part_nets_;        ///< per-worker net ops
+  std::vector<std::pair<uint64_t, uint64_t>> part_counts_;  ///< adds,removes
+  std::vector<NetOp> net_ops_;            ///< bucketed by run, contiguous
+  std::vector<uint32_t> run_net_begin_;   ///< per-run offsets into net_ops_
+  std::vector<Segment> segments_;
+
+  /// Declared last: destroyed (joined) first, so no gang thread outlives
+  /// the engine whose guards and pools it touched.
+  TaskPool pool_;
+};
+
+}  // namespace condyn

@@ -448,7 +448,12 @@ EnvConfig env_config() {
     if (s != nullptr) cfg.scenarios.push_back(s->name);
   }
 
-  for (const std::string& item : env_list("DC_BENCH_BATCH")) {
+  // DC_BENCH_BATCH_SIZES is the preferred spelling (ISSUE 7); the original
+  // DC_BENCH_BATCH is honored as a fallback so existing scripts keep
+  // working. One run sweeps every listed size on the batch scenarios.
+  std::vector<std::string> batch_items = env_list("DC_BENCH_BATCH_SIZES");
+  if (batch_items.empty()) batch_items = env_list("DC_BENCH_BATCH");
+  for (const std::string& item : batch_items) {
     if (!all_digits(item)) continue;  // malformed entries are skipped
     const std::size_t b = static_cast<std::size_t>(std::stoul(item));
     if (b > 0) cfg.batch_sizes.push_back(b);

@@ -24,8 +24,10 @@ namespace condyn::harness {
 //   DC_BENCH_SCALE     graph size multiplier                  (default 0.05)
 //   DC_BENCH_SEED      base RNG seed                          (default 42)
 //   DC_BENCH_FULL      1 = paper-size graphs, all variants    (default 0)
-//   DC_BENCH_BATCH     comma list of batch sizes              (default
-//                      "1,16,64,256"; batch scenarios only)
+//   DC_BENCH_BATCH_SIZES  comma list of batch sizes           (default
+//                      "1,16,64,256"; batch scenarios only; one run sweeps
+//                      every listed size. DC_BENCH_BATCH is the legacy
+//                      spelling, honored when _SIZES is unset)
 //   DC_BENCH_SCENARIOS comma list of scenario names/ids       (default: all
 //                      runnable — trace-replay needs DC_BENCH_TRACE)
 //   DC_BENCH_READS     comma list of read percentages         (default
@@ -113,7 +115,8 @@ struct EnvConfig {
   /// Scenario names to run, resolved from DC_BENCH_SCENARIOS (comma list of
   /// ids or names); empty = caller's default set.
   std::vector<std::string> scenarios;
-  /// Batch sizes to sweep, from DC_BENCH_BATCH (batch scenarios only).
+  /// Batch sizes to sweep, from DC_BENCH_BATCH_SIZES (legacy spelling
+  /// DC_BENCH_BATCH; batch scenarios only).
   std::vector<std::size_t> batch_sizes;
   /// Read percentages to sweep, from DC_BENCH_READS (read-mix scenarios).
   std::vector<int> read_percents;

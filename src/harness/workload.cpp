@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/batch_runs.hpp"
+
 namespace condyn::harness {
 
 namespace {
@@ -175,8 +177,9 @@ std::vector<Edge> stripe(const std::vector<Edge>& edges, unsigned thread,
 }
 
 uint64_t edge_partition_hash(Vertex u, Vertex v) noexcept {
-  const Edge e(u, v);  // canonical orientation: hash(u,v) == hash(v,u)
-  return mix64(e.key() ^ 0xdec0de5eedull);
+  // Canonical orientation (hash(u,v) == hash(v,u)); the definition lives in
+  // core/batch_runs.hpp since PR 7 so PbdDc's batch planner shares it.
+  return condyn::edge_partition_hash(u, v);
 }
 
 std::vector<Op> edge_partition(std::span<const Op> ops, unsigned thread,

@@ -113,6 +113,60 @@ TEST_P(BatchVariants, DuplicateEdgesWithinOneBatch) {
   EXPECT_EQ(r.queries_true, 2u);
 }
 
+TEST_P(BatchVariants, AdversarialSameEdgeChurnMatchesSequentialFallback) {
+  // The pbd preprocessing pin (ISSUE 7): duplicate same-edge add/remove
+  // pairs inside one batch — with queries interleaved as reorder barriers —
+  // must produce exactly the BatchResult of the sequential fallback loop.
+  // A tiny edge universe makes every batch repeat the same few edges many
+  // times, so cancellation, re-toggling across query barriers, self-loops
+  // and duplicate adds all occur constantly; checked against a twin
+  // instance driven through the single-op API and against the DSU oracle.
+  const Vertex n = 8;
+  auto dc = make_variant(GetParam(), n);
+  auto seq = make_variant(GetParam(), n);
+  testing_oracle oracle(n);
+  Xoshiro256 rng(233);
+  const std::pair<Vertex, Vertex> universe[] = {
+      {0, 1}, {1, 2}, {0, 2}, {2, 3}, {4, 5}, {3, 3}};
+  for (int round = 0; round < 24; ++round) {
+    std::vector<Op> batch;
+    const std::size_t len = 48 + rng.next_below(160);
+    for (std::size_t i = 0; i < len; ++i) {
+      const auto [a, b] = universe[rng.next_below(std::size(universe))];
+      switch (rng.next_below(10)) {
+        case 0: batch.push_back(Op::connected(a, b)); break;
+        case 1: batch.push_back(Op::component_size(a)); break;
+        case 2: batch.push_back(Op::representative(b)); break;
+        default:
+          batch.push_back(rng.next_below(2) ? Op::add(a, b)
+                                            : Op::remove(a, b));
+      }
+    }
+    const BatchResult r = dc->apply_batch(batch);
+    ASSERT_EQ(r.size(), batch.size());
+    uint64_t adds = 0, removes = 0, queries = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const uint64_t fallback = exec_single(*seq, batch[i]);
+      ASSERT_EQ(r.value(i), fallback)
+          << "round " << round << " op " << i << " kind "
+          << static_cast<int>(batch[i].kind) << " (" << batch[i].u << ","
+          << batch[i].v << ")";
+      ASSERT_EQ(fallback, oracle.apply(batch[i]));
+      if (fallback != 0) {
+        switch (batch[i].kind) {
+          case OpKind::kAdd: ++adds; break;
+          case OpKind::kRemove: ++removes; break;
+          case OpKind::kConnected: ++queries; break;
+          default: break;
+        }
+      }
+    }
+    EXPECT_EQ(r.adds_performed, adds);
+    EXPECT_EQ(r.removes_performed, removes);
+    EXPECT_EQ(r.queries_true, queries);
+  }
+}
+
 TEST_P(BatchVariants, EmptyAndPureReadBatches) {
   auto dc = make_variant(GetParam(), 8);
   EXPECT_EQ(dc->apply_batch({}).size(), 0u);
@@ -168,7 +222,7 @@ TEST_P(BatchVariants, ConcurrentDisjointRegionBatches) {
 
 TEST(BatchRegistry, CapsAreDeclaredForBuiltins) {
   // Every built-in variant overrides apply_batch (or knowingly relies on the
-  // fallback); all thirteen currently declare a native batched path.
+  // fallback); all fourteen currently declare a native batched path.
   for (const VariantInfo& v : all_variants()) {
     EXPECT_TRUE(v.caps.native_batch) << v.name;
     EXPECT_TRUE(static_cast<bool>(v.make)) << v.name;
@@ -183,10 +237,13 @@ TEST(BatchRegistry, CapsAreDeclaredForBuiltins) {
   EXPECT_FALSE(find_variant("full")->caps.atomic_batch);
   EXPECT_TRUE(find_variant("fc-nbreads")->caps.combining);
   EXPECT_TRUE(find_variant("parallel-combining")->caps.atomic_batch);
+  EXPECT_TRUE(find_variant("pbd")->caps.internal_parallel);
+  EXPECT_TRUE(find_variant("pbd")->caps.atomic_batch);
+  EXPECT_FALSE(find_variant("parallel-combining")->caps.internal_parallel);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVariants, BatchVariants,
-                         ::testing::Range(1, 14),
+                         ::testing::Range(1, 15),
                          [](const ::testing::TestParamInfo<int>& info) {
                            std::string n = all_variants()[info.param - 1].name;
                            for (char& c : n)

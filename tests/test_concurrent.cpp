@@ -167,7 +167,7 @@ TEST_P(VariantStress, TwoCliquesInvariantUnderChurn) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVariants, VariantStress,
-                         ::testing::Range(1, 14),
+                         ::testing::Range(1, 15),
                          [](const ::testing::TestParamInfo<int>& info) {
                            std::string n = all_variants()[info.param - 1].name;
                            for (char& c : n)

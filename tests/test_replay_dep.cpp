@@ -130,7 +130,7 @@ TEST(ReplayDep, ScenarioIsRegisteredWithLatencyTracking) {
 
 TEST(ReplayDep, ConcurrentReplayMatchesOracleConnectivityOnEveryVariant) {
   // The acceptance bar: the dependency-preserving replay of the converted
-  // SNAP sample ends in the oracle's connectivity on all 13 variants, at
+  // SNAP sample ends in the oracle's connectivity on every variant, at
   // a thread count that actually interleaves.
   const io::Trace& t = sample_trace();
   const std::set<Edge> live = final_edges(t);
