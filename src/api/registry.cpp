@@ -20,6 +20,9 @@ VariantRegistry& VariantRegistry::instance() {
     register_nb_variants(reg);
     register_combining_variants(reg);
     register_pbd_variants(reg);
+    // Last: the sharded facade picks its inner variants by capability
+    // profile from the families registered above.
+    register_sharded_variants(reg);
   });
   return reg;
 }

@@ -98,5 +98,6 @@ void register_fine_variants(VariantRegistry& r);       // (6)–(8)
 void register_nb_variants(VariantRegistry& r);         // (9)–(11)
 void register_combining_variants(VariantRegistry& r);  // (12)–(13)
 void register_pbd_variants(VariantRegistry& r);        // (14)
+void register_sharded_variants(VariantRegistry& r);    // (15)–(16)
 
 }  // namespace condyn

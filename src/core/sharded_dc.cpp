@@ -1,0 +1,508 @@
+#include "core/sharded_dc.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/batch_runs.hpp"
+#include "core/stats.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace condyn {
+
+namespace {
+
+/// Round the requested shard count down to a power of two in [1, 64] so the
+/// router is a single mask; 0 defers to the DC_SHARDS environment default.
+unsigned resolve_shards(unsigned shards) {
+  unsigned s = shards == 0 ? ShardedDc::env_shards() : shards;
+  if (s < 1) s = 1;
+  if (s > 64) s = 64;
+  while ((s & (s - 1)) != 0) s &= s - 1;
+  return s;
+}
+
+}  // namespace
+
+unsigned ShardedDc::env_shards() {
+  if (const char* s = std::getenv("DC_SHARDS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v >= 1 && v <= 64) return static_cast<unsigned>(v);
+  }
+  return 4;
+}
+
+uint32_t ShardedDc::route(Vertex v, uint32_t pow2_mask) noexcept {
+  // Same shape as edge_partition_hash: mix64 over a salted key, truncated
+  // by the pow2 mask. Seed-free and machine-stable, so workload generators
+  // (the work-imbalance scenario) and the structure agree on shard homes.
+  return static_cast<uint32_t>(mix64(static_cast<uint64_t>(v) ^
+                                     0x5eedc0de5ull) &
+                               pow2_mask);
+}
+
+ShardedDc::ShardedDc(Vertex n, std::string name, InnerMake make_inner,
+                     bool sampling, unsigned shards, unsigned workers)
+    : n_(n),
+      name_(std::move(name)),
+      mask_(resolve_shards(shards) - 1),
+      shard_of_(n),
+      local_of_(n),
+      global_of_(mask_ + 1),
+      boundary_count_(mask_ + 1),
+      endpoint_refs_(mask_ + 1),
+      boundary_local_(mask_ + 1),
+      shard_version_(mask_ + 1),
+      pool_(workers != 0 ? workers
+                         : std::min<unsigned>(
+                               mask_ + 1,
+                               TaskPool::env_workers("DC_SHARD_WORKERS"))) {
+  // Local ids are handed out in ascending global order, so within one shard
+  // "smallest local id" and "smallest global id" name the same vertex — the
+  // translation that keeps representative() canonical across the facade.
+  for (Vertex v = 0; v < n_; ++v) {
+    const uint32_t s = route(v, mask_);
+    shard_of_[v] = s;
+    local_of_[v] = static_cast<Vertex>(global_of_[s].size());
+    global_of_[s].push_back(v);
+  }
+  inner_.reserve(mask_ + 1);
+  for (uint32_t s = 0; s <= mask_; ++s) {
+    // Each shard's structure (and hence its pools, maps and forest) is
+    // sized to its own vertex population, not the global universe (>= 1 so
+    // empty shards still construct).
+    const Vertex ns =
+        std::max<Vertex>(static_cast<Vertex>(global_of_[s].size()), 1);
+    inner_.push_back(make_inner(ns, sampling));
+  }
+}
+
+std::size_t ShardedDc::boundary_edges() const {
+  std::lock_guard<std::mutex> lk(boundary_mu_);
+  return boundary_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Updates
+// ---------------------------------------------------------------------------
+
+bool ShardedDc::add_edge(Vertex u, Vertex v) {
+  if (u == v) return false;  // loops never change connectivity
+  const uint32_t su = shard_of_[u], sv = shard_of_[v];
+  if (su == sv) {
+    const bool r = inner_[su]->add_edge(local_of_[u], local_of_[v]);
+    if (r) bump_if_boundary_adjacent(su, u, v);
+    return r;
+  }
+  return add_cross(u, v);
+}
+
+bool ShardedDc::remove_edge(Vertex u, Vertex v) {
+  if (u == v) return false;
+  const uint32_t su = shard_of_[u], sv = shard_of_[v];
+  if (su == sv) {
+    const bool r = inner_[su]->remove_edge(local_of_[u], local_of_[v]);
+    if (r) bump_if_boundary_adjacent(su, u, v);
+    return r;
+  }
+  return remove_cross(u, v);
+}
+
+void ShardedDc::bump_if_boundary_adjacent(uint32_t s, Vertex u, Vertex v) {
+  // An intra-shard update invalidates the boundary index only if it touched
+  // a component that a boundary edge can see. The probe runs *after* the
+  // mutation, which makes the skip exact in sequential histories: for any
+  // final-state path from an updated vertex to a boundary endpoint, the
+  // chronologically last addition completing that path probes a component
+  // that already contains the endpoint, and bumps. Updates racing the probe
+  // can at worst delay invalidation until the next bumping update — the
+  // same staleness window every boundary query already tolerates.
+  if (boundary_count_[s].v.load(std::memory_order_acquire) == 0) return;
+  if (shard_confined(s, local_of_[u]) && shard_confined(s, local_of_[v]))
+    return;
+  bump_shard(s);
+}
+
+void ShardedDc::republish_endpoints(uint32_t s) {
+  auto list = std::make_shared<std::vector<Vertex>>();
+  list->reserve(endpoint_refs_[s].size());
+  for (const auto& [lv, cnt] : endpoint_refs_[s]) list->push_back(lv);
+  std::lock_guard<std::mutex> lk(boundary_local_[s].mu);
+  boundary_local_[s].list = std::move(list);
+}
+
+bool ShardedDc::add_cross(Vertex u, Vertex v) {
+  ++op_stats::local().shard_cross_updates;
+  const uint64_t key = Edge(u, v).key();
+  std::lock_guard<std::mutex> lk(boundary_mu_);
+  if (!boundary_.insert(key).second) return false;
+  for (const Vertex x : {u, v}) {
+    const uint32_t s = shard_of_[x];
+    boundary_count_[s].v.fetch_add(1, std::memory_order_release);
+    if (++endpoint_refs_[s][local_of_[x]] == 1) republish_endpoints(s);
+  }
+  bump_boundary();
+  return true;
+}
+
+bool ShardedDc::remove_cross(Vertex u, Vertex v) {
+  ++op_stats::local().shard_cross_updates;
+  const uint64_t key = Edge(u, v).key();
+  std::lock_guard<std::mutex> lk(boundary_mu_);
+  if (boundary_.erase(key) == 0) return false;
+  for (const Vertex x : {u, v}) {
+    const uint32_t s = shard_of_[x];
+    boundary_count_[s].v.fetch_sub(1, std::memory_order_release);
+    const auto it = endpoint_refs_[s].find(local_of_[x]);
+    if (it != endpoint_refs_[s].end() && --it->second == 0) {
+      endpoint_refs_[s].erase(it);
+      republish_endpoints(s);
+    }
+  }
+  bump_boundary();
+  return true;
+}
+
+bool ShardedDc::shard_confined(uint32_t s, Vertex local_v) {
+  std::shared_ptr<const std::vector<Vertex>> eps;
+  {
+    std::lock_guard<std::mutex> lk(boundary_local_[s].mu);
+    eps = boundary_local_[s].list;
+  }
+  if (eps == nullptr || eps->empty()) return true;
+  if (eps->size() > kConfinedScanCap) return false;  // too big to probe
+  for (const Vertex w : *eps) {
+    if (inner_[s]->connected(local_v, w)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Boundary index
+// ---------------------------------------------------------------------------
+
+bool ShardedDc::versions_match(const BoundaryIndex& idx) const noexcept {
+  const unsigned S = num_shards();
+  for (unsigned s = 0; s < S; ++s) {
+    if (idx.built[s] != shard_version_[s].v.load(std::memory_order_acquire))
+      return false;
+  }
+  return idx.built[S] == boundary_version_.v.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const ShardedDc::BoundaryIndex> ShardedDc::valid_index() {
+  std::shared_ptr<const BoundaryIndex> cur;
+  {
+    std::lock_guard<std::mutex> lk(index_ptr_mu_);
+    cur = index_;
+  }
+  if (cur != nullptr && versions_match(*cur)) return cur;
+  return nullptr;
+}
+
+std::shared_ptr<const ShardedDc::BoundaryIndex> ShardedDc::current_index() {
+  std::shared_ptr<const BoundaryIndex> cur;
+  {
+    std::lock_guard<std::mutex> lk(index_ptr_mu_);
+    cur = index_;
+  }
+  if (cur != nullptr && versions_match(*cur)) return cur;
+  std::lock_guard<std::mutex> rebuild_lk(index_mu_);
+  {
+    std::lock_guard<std::mutex> lk(index_ptr_mu_);
+    cur = index_;
+  }
+  if (cur != nullptr && versions_match(*cur)) return cur;
+  cur = rebuild_index();
+  {
+    std::lock_guard<std::mutex> lk(index_ptr_mu_);
+    index_ = cur;
+  }
+  return cur;
+}
+
+std::shared_ptr<const ShardedDc::BoundaryIndex> ShardedDc::rebuild_index() {
+  ++op_stats::local().shard_index_rebuilds;
+  auto idx = std::make_shared<BoundaryIndex>();
+  const unsigned S = num_shards();
+  // Versions are captured *before* reading any inner state: an update that
+  // races the build bumps a counter the snapshot doesn't carry, so the next
+  // validity check distrusts (and rebuilds) it. At quiescence a matching
+  // snapshot therefore saw every update — the exactness the oracle tests
+  // rely on.
+  idx->built.resize(S + 1);
+  for (unsigned s = 0; s < S; ++s)
+    idx->built[s] = shard_version_[s].v.load(std::memory_order_acquire);
+  idx->built[S] = boundary_version_.v.load(std::memory_order_acquire);
+
+  std::vector<uint64_t> edges;
+  {
+    std::lock_guard<std::mutex> lk(boundary_mu_);
+    edges.assign(boundary_.begin(), boundary_.end());
+  }
+
+  // Memoize the shard-component representative per endpoint: one inner
+  // query per distinct vertex, and a value that stays internally stable
+  // for the whole build even if updates race it.
+  std::unordered_map<Vertex, Vertex> rep_memo;
+  auto rep_of = [&](Vertex g) {
+    const auto [it, fresh] = rep_memo.try_emplace(g, 0);
+    if (fresh) it->second = rep_global(g);
+    return it->second;
+  };
+
+  // Union-find over (shard, representative) super-nodes; node ids are
+  // handed out on first sight of a representative.
+  std::unordered_map<Vertex, uint32_t> node_of;
+  std::vector<uint32_t> parent;
+  std::vector<Vertex> node_rep;
+  auto node = [&](Vertex rep) {
+    const auto [it, fresh] =
+        node_of.try_emplace(rep, static_cast<uint32_t>(parent.size()));
+    if (fresh) {
+      parent.push_back(it->second);
+      node_rep.push_back(rep);
+    }
+    return it->second;
+  };
+  auto find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const uint64_t key : edges) {
+    const Edge e = Edge::from_key(key);
+    const uint32_t ra = find(node(rep_of(e.u)));
+    const uint32_t rb = find(node(rep_of(e.v)));
+    if (ra != rb) parent[ra] = rb;
+  }
+
+  // Aggregate per super-component: total size is the sum of the member
+  // shard-components' inner sizes (each distinct representative counted
+  // once), the global representative their minimum.
+  std::unordered_map<uint32_t, uint32_t> ord_of;
+  for (uint32_t i = 0; i < parent.size(); ++i) {
+    const uint32_t root = find(i);
+    const auto [it, fresh] =
+        ord_of.try_emplace(root, static_cast<uint32_t>(idx->size.size()));
+    if (fresh) {
+      idx->size.push_back(0);
+      idx->rep.push_back(node_rep[i]);
+    }
+    const uint32_t o = it->second;
+    idx->size[o] += inner_[shard_of_[node_rep[i]]]->component_size(
+        local_of_[node_rep[i]]);
+    if (node_rep[i] < idx->rep[o]) idx->rep[o] = node_rep[i];
+    idx->super_of.emplace(node_rep[i], o);
+  }
+  return idx;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+bool ShardedDc::connected(Vertex u, Vertex v) {
+  const uint32_t su = shard_of_[u], sv = shard_of_[v];
+  if (su == sv) {
+    // Intra-shard fast path: a positive inner answer is globally exact
+    // (boundary edges only ever *add* connectivity); a negative one is
+    // final when the shard touches no boundary edge.
+    if (inner_[su]->connected(local_of_[u], local_of_[v])) return true;
+    if (boundary_count_[su].v.load(std::memory_order_acquire) == 0)
+      return false;
+  } else {
+    if (boundary_count_[su].v.load(std::memory_order_acquire) == 0 ||
+        boundary_count_[sv].v.load(std::memory_order_acquire) == 0)
+      return false;
+  }
+  // Cost ladder: a still-valid published index answers in O(1); otherwise a
+  // component that touches no boundary endpoint cannot leave its shard, so
+  // the probe (O(shard boundary), no rebuild) finalizes the negative inner
+  // answer; only queries that survive both pay the rebuild.
+  auto idx = valid_index();
+  if (idx == nullptr) {
+    if (su == sv) {
+      if (shard_confined(su, local_of_[u]) ||
+          shard_confined(su, local_of_[v]))
+        return false;
+    } else {
+      if (shard_confined(su, local_of_[u]) ||
+          shard_confined(sv, local_of_[v]))
+        return false;
+    }
+  }
+  ++op_stats::local().shard_boundary_queries;
+  if (idx == nullptr) idx = current_index();
+  const Vertex ru = rep_global(u);
+  const Vertex rv = rep_global(v);
+  if (ru == rv) return true;
+  const auto iu = idx->super_of.find(ru);
+  if (iu == idx->super_of.end()) return false;
+  const auto iv = idx->super_of.find(rv);
+  if (iv == idx->super_of.end()) return false;
+  return iu->second == iv->second;
+}
+
+uint64_t ShardedDc::component_size(Vertex u) {
+  const uint32_t s = shard_of_[u];
+  if (boundary_count_[s].v.load(std::memory_order_acquire) == 0)
+    return inner_[s]->component_size(local_of_[u]);
+  auto idx = valid_index();
+  if (idx == nullptr && shard_confined(s, local_of_[u]))
+    return inner_[s]->component_size(local_of_[u]);
+  ++op_stats::local().shard_boundary_queries;
+  if (idx == nullptr) idx = current_index();
+  const auto it = idx->super_of.find(rep_global(u));
+  if (it == idx->super_of.end())
+    return inner_[s]->component_size(local_of_[u]);
+  return idx->size[it->second];
+}
+
+Vertex ShardedDc::representative(Vertex u) {
+  const uint32_t s = shard_of_[u];
+  if (boundary_count_[s].v.load(std::memory_order_acquire) == 0)
+    return rep_global(u);
+  auto idx = valid_index();
+  if (idx == nullptr && shard_confined(s, local_of_[u]))
+    return rep_global(u);
+  ++op_stats::local().shard_boundary_queries;
+  if (idx == nullptr) idx = current_index();
+  const Vertex ru = rep_global(u);
+  const auto it = idx->super_of.find(ru);
+  return it == idx->super_of.end() ? ru : idx->rep[it->second];
+}
+
+ComponentsSnapshot ShardedDc::components() {
+  ComponentsSnapshot out;
+  out.labels.resize(n_);
+  const unsigned S = num_shards();
+  bool any_boundary = false;
+  for (unsigned s = 0; s < S; ++s) {
+    if (global_of_[s].empty()) continue;
+    const ComponentsSnapshot snap = inner_[s]->components();
+    for (std::size_t l = 0; l < global_of_[s].size(); ++l)
+      out.labels[global_of_[s][l]] =
+          global_of_[s][snap.labels[static_cast<Vertex>(l)]];
+    if (boundary_count_[s].v.load(std::memory_order_acquire) != 0)
+      any_boundary = true;
+  }
+  if (any_boundary) {
+    const auto idx = current_index();
+    for (Vertex g = 0; g < n_; ++g) {
+      const auto it = idx->super_of.find(out.labels[g]);
+      if (it != idx->super_of.end()) out.labels[g] = idx->rep[it->second];
+    }
+  }
+  // Stitched from S inner snapshots plus the index: exact at quiescence,
+  // but not one atomically published epoch.
+  out.consistent = false;
+  return out;
+}
+
+uint64_t ShardedDc::exec_query(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kConnected:
+      return connected(op.u, op.v) ? 1 : 0;
+    case OpKind::kComponentSize:
+      return component_size(op.u);
+    case OpKind::kRepresentative:
+      return representative(op.u);
+    case OpKind::kAdd:
+    case OpKind::kRemove:
+      break;  // updates never reach the query dispatch
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Batches
+// ---------------------------------------------------------------------------
+
+BatchResult ShardedDc::apply_batch(std::span<const Op> ops) {
+  BatchResult r;
+  r.values.resize(ops.size());
+  if (ops.empty()) return r;
+  if (all_reads(ops)) {
+    // Pure-read batches never synchronize with the gang: they run as a
+    // sequence of global queries on the read path.
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      r.set_op(i, ops[i].kind, exec_query(ops[i]));
+    return r;
+  }
+  // TaskPool::run is single-driver; a caller that cannot claim the gang
+  // applies its per-shard sub-batches sequentially instead of waiting, so
+  // concurrent batches still make progress (batches are NOT atomic with
+  // respect to each other or to single ops — caps.atomic_batch stays off).
+  std::unique_lock<std::mutex> gang(batch_mu_, std::try_to_lock);
+  for_each_batch_segment(
+      ops,
+      [&](std::size_t i) { r.set_op(i, ops[i].kind, exec_query(ops[i])); },
+      [&](std::size_t i, std::size_t j) {
+        apply_run(ops, i, j, r, gang.owns_lock());
+      });
+  return r;
+}
+
+void ShardedDc::apply_run(std::span<const Op> ops, std::size_t i,
+                          std::size_t j, BatchResult& r, bool own_gang) {
+  const unsigned S = num_shards();
+  std::vector<std::vector<Op>> sub(S);
+  std::vector<std::vector<uint32_t>> pos(S);
+  std::vector<uint32_t> cross;
+  unsigned touched = 0;
+  for (std::size_t k = i; k < j; ++k) {
+    const Op& op = ops[k];
+    if (op.u == op.v) continue;  // loop updates: no-op, value stays false
+    const uint32_t su = shard_of_[op.u], sv = shard_of_[op.v];
+    if (su == sv) {
+      if (sub[su].empty()) ++touched;
+      sub[su].push_back({op.kind, local_of_[op.u], local_of_[op.v]});
+      pos[su].push_back(static_cast<uint32_t>(k));
+    } else {
+      cross.push_back(static_cast<uint32_t>(k));
+    }
+  }
+
+  // Gang members write disjoint r.values slots and their own shard_res
+  // entries; the summary counters are merged by the caller after the join.
+  std::vector<BatchResult> shard_res(S);
+  auto apply_shard = [&](uint32_t s) {
+    if (sub[s].empty()) return;
+    shard_res[s] = inner_[s]->apply_batch(sub[s]);
+    for (std::size_t m = 0; m < pos[s].size(); ++m)
+      r.values[pos[s][m]] = shard_res[s].values[m];
+    if (shard_res[s].adds_performed + shard_res[s].removes_performed > 0)
+      bump_shard(s);
+  };
+  const unsigned gang = pool_.workers();
+  if (own_gang && gang > 1 && touched > 1) {
+    pool_.run([&](unsigned w) {
+      // Deterministic shard → worker assignment (shard s always runs on
+      // gang member s % gang): each worker's thread-local NodePool arenas
+      // end up populated by one fixed subset of shards, so allocation
+      // locality follows the partition across batches.
+      for (uint32_t s = w; s < S; s += gang) apply_shard(s);
+    });
+  } else {
+    for (uint32_t s = 0; s < S; ++s) apply_shard(s);
+  }
+  for (uint32_t s = 0; s < S; ++s) {
+    r.adds_performed += shard_res[s].adds_performed;
+    r.removes_performed += shard_res[s].removes_performed;
+  }
+
+  // Cross-shard updates are applied by the caller, in batch order (updates
+  // on distinct edges commute within a run; same-edge ops stay in this one
+  // ordered stretch because the router is deterministic).
+  for (const uint32_t k : cross) {
+    const Op& op = ops[k];
+    const bool done = op.kind == OpKind::kAdd ? add_cross(op.u, op.v)
+                                              : remove_cross(op.u, op.v);
+    r.set_op(k, op.kind, done ? 1 : 0);
+  }
+}
+
+}  // namespace condyn

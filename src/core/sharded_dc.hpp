@@ -1,0 +1,207 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "api/dynamic_connectivity.hpp"
+#include "util/cacheline.hpp"
+#include "util/task_pool.hpp"
+
+namespace condyn {
+
+/// (15) sharded<inner> — two-level sharded scale-out (DESIGN.md §10,
+/// ROADMAP direction 2): the vertex universe is partitioned into S
+/// independent connectivity shards (each a full DynamicConnectivity of any
+/// registered family) plus a *boundary layer* that tracks cross-shard edges
+/// and answers global queries through a small top-level structure over
+/// shard-component representatives.
+///
+///  * Router: vertex → shard by a pow2 mask over the same mix64 hashing the
+///    dep-replay edge partition uses (`DC_SHARDS`, default 4). Per-shard
+///    vertex ids are assigned in ascending global order, so the inner
+///    structure's smallest-local-id representative maps back to the
+///    smallest *global* id — PR 5's representative() contract survives the
+///    translation and shard-component reps are durable super-node keys.
+///  * Intra-shard ops (the common case the router maximizes) go straight to
+///    the owning inner structure; no shared state is touched beyond one
+///    per-shard version bump on successful updates.
+///  * Cross-shard edges never reach an inner structure: they live in a
+///    boundary edge set (with per-shard incidence counts) and contribute
+///    connectivity only through the BoundaryIndex — a DSU over (shard,
+///    representative) super-nodes rebuilt lazily and published behind
+///    PR 6-style versioned invalidation: writers only bump cache-line-
+///    padded version counters; the re-link work stays off the update path
+///    and is paid by the first global query that needs it.
+///  * apply_batch partitions each update run by shard and fans the
+///    per-shard sub-batches out over a PR 7 TaskPool gang (shard s is
+///    always handled by gang member s % workers, so the thread-local
+///    NodePool arenas each worker populates stay shard-local); queries are
+///    reorder barriers executed by the caller between runs.
+///
+/// Consistency contract: intra-shard queries are exactly as strong as the
+/// inner variant's. Queries that consult the boundary layer (cross-shard
+/// connected(), component_size()/representative()/components() of a
+/// component that touches a boundary edge) are exact at quiescence and
+/// between updates of the involved components — the same contract as the
+/// base-class query fallbacks — because the index is a snapshot validated
+/// against the per-shard versions, not a linearizable structure.
+class ShardedDc final : public DynamicConnectivity {
+ public:
+  using InnerMake =
+      std::function<std::unique_ptr<DynamicConnectivity>(Vertex, bool)>;
+
+  /// `shards` is rounded down to a power of two and clamped to [1, 64];
+  /// 0 picks the DC_SHARDS environment default. `workers` sizes the batch
+  /// fan-out gang including the caller (0 = min(shards, TaskPool default)).
+  ShardedDc(Vertex n, std::string name, InnerMake make_inner,
+            bool sampling = true, unsigned shards = 0, unsigned workers = 0);
+
+  bool add_edge(Vertex u, Vertex v) override;
+  bool remove_edge(Vertex u, Vertex v) override;
+  bool connected(Vertex u, Vertex v) override;
+  uint64_t component_size(Vertex u) override;
+  Vertex representative(Vertex u) override;
+  ComponentsSnapshot components() override;
+  BatchResult apply_batch(std::span<const Op> ops) override;
+
+  Vertex num_vertices() const override { return n_; }
+  std::string name() const override { return name_; }
+
+  unsigned num_shards() const noexcept {
+    return static_cast<unsigned>(inner_.size());
+  }
+  uint32_t shard_of(Vertex v) const noexcept { return shard_of_[v]; }
+  /// Count of boundary (cross-shard) edges currently present.
+  std::size_t boundary_edges() const;
+
+  /// DC_SHARDS environment default: pow2 in [1, 64], 4 when unset.
+  static unsigned env_shards();
+  /// The router hash, exposed so workload generators (work-imbalance) can
+  /// target one shard's vertex range without constructing a ShardedDc.
+  static uint32_t route(Vertex v, uint32_t pow2_mask) noexcept;
+
+ private:
+  /// One rebuilt snapshot of the top-level connectivity over shard-component
+  /// representatives. Immutable once published; `built` holds the S+1
+  /// version-counter values captured *before* the build, so any update that
+  /// raced the build leaves the snapshot detectably stale.
+  struct BoundaryIndex {
+    std::vector<uint64_t> built;  ///< [shard 0..S-1, boundary]
+    /// Shard-component representative (global id) → super-component ordinal.
+    /// A representative absent from this map belongs to a component no
+    /// boundary edge touches: its shard-local answers are globally exact.
+    std::unordered_map<Vertex, uint32_t> super_of;
+    std::vector<uint64_t> size;  ///< per ordinal: sum of member inner sizes
+    std::vector<Vertex> rep;     ///< per ordinal: min member representative
+  };
+
+  struct alignas(kCacheLine) PaddedCounter {
+    std::atomic<uint64_t> v{0};
+  };
+
+  uint32_t shard_index(Vertex v) const noexcept { return shard_of_[v]; }
+  Vertex local_of(Vertex v) const noexcept { return local_of_[v]; }
+  Vertex global_of(uint32_t s, Vertex local) const {
+    return global_of_[s][local];
+  }
+  /// Inner representative of v, translated back to the global id space.
+  Vertex rep_global(Vertex v) {
+    const uint32_t s = shard_of_[v];
+    return global_of_[s][static_cast<Vertex>(
+        inner_[s]->representative(local_of_[v]))];
+  }
+
+  void bump_shard(uint32_t s) noexcept {
+    shard_version_[s].v.fetch_add(1, std::memory_order_release);
+  }
+  void bump_boundary() noexcept {
+    boundary_version_.v.fetch_add(1, std::memory_order_release);
+  }
+  bool versions_match(const BoundaryIndex& idx) const noexcept;
+
+  /// True when v's shard component provably touches no boundary endpoint,
+  /// making its inner answers globally exact without consulting (or
+  /// rebuilding) the index: the probe scans the shard's published endpoint
+  /// list and asks the inner structure for connectivity to each. False
+  /// means "touches a boundary endpoint or the list is too big to scan"
+  /// (capped at kConfinedScanCap — large boundaries pay the index instead).
+  bool shard_confined(uint32_t s, Vertex local_v);
+  static constexpr std::size_t kConfinedScanCap = 128;
+
+  /// Version-bump an intra-shard update only if it touched a component a
+  /// boundary edge can see (post-update probe; see the .cpp argument).
+  void bump_if_boundary_adjacent(uint32_t s, Vertex u, Vertex v);
+
+  /// Rebuild boundary_local_[s] from endpoint_refs_[s]; boundary_mu_ held.
+  void republish_endpoints(uint32_t s);
+
+  /// The published index if its captured versions still match, else null
+  /// (never rebuilds — the probe fast path runs before any rebuild).
+  std::shared_ptr<const BoundaryIndex> valid_index();
+  /// The current valid index, rebuilding under index_mu_ if stale.
+  std::shared_ptr<const BoundaryIndex> current_index();
+  std::shared_ptr<const BoundaryIndex> rebuild_index();
+
+  /// Global single-op query dispatch (used by connected/component_size/
+  /// representative and by apply_batch's query barriers).
+  uint64_t exec_query(const Op& op);
+
+  bool add_cross(Vertex u, Vertex v);
+  bool remove_cross(Vertex u, Vertex v);
+  void apply_run(std::span<const Op> ops, std::size_t i, std::size_t j,
+                 BatchResult& r, bool own_gang);
+
+  Vertex n_;
+  std::string name_;
+  uint32_t mask_;  ///< num_shards() - 1 (pow2 router mask)
+
+  std::vector<uint32_t> shard_of_;           ///< [n] router table
+  std::vector<Vertex> local_of_;             ///< [n] global → shard-local id
+  std::vector<std::vector<Vertex>> global_of_;  ///< [S][n_s] reverse map
+  std::vector<std::unique_ptr<DynamicConnectivity>> inner_;
+
+  /// Boundary layer: cross-shard edges by canonical key, plus lock-free
+  /// readable per-shard incidence counts (the "is this shard isolated"
+  /// fast path). Mutated only under boundary_mu_.
+  mutable std::mutex boundary_mu_;
+  std::unordered_set<uint64_t> boundary_;
+  std::vector<PaddedCounter> boundary_count_;  ///< [S] incident cross edges
+  /// Per-shard boundary endpoints by shard-local id with incidence counts
+  /// (mutated under boundary_mu_), plus a copy-on-write published list per
+  /// shard that the confined-component probe snapshots under a per-shard
+  /// padded mutex (an uncontended lock per probe — NOT boundary_mu_, so
+  /// probes never serialize against other shards' cross updates; a plain
+  /// std::atomic<shared_ptr> was tried first but libstdc++'s _Sp_atomic
+  /// lock-bit protocol is opaque to TSan). Republished whenever a shard's
+  /// endpoint *set* changes (refcount 0 ↔ 1).
+  struct alignas(kCacheLine) EndpointSlot {
+    std::mutex mu;
+    std::shared_ptr<const std::vector<Vertex>> list;
+  };
+  std::vector<std::unordered_map<Vertex, uint32_t>> endpoint_refs_;
+  std::vector<EndpointSlot> boundary_local_;
+
+  /// Versioned invalidation (PR 6 shape): one padded counter per shard plus
+  /// one for the boundary edge set. Writers bump after a successful update;
+  /// readers compare against the published index's captured values.
+  std::vector<PaddedCounter> shard_version_;
+  PaddedCounter boundary_version_;
+
+  std::mutex index_ptr_mu_;  ///< guards the index_ shared_ptr slot only
+  std::shared_ptr<const BoundaryIndex> index_;
+  std::mutex index_mu_;  ///< serializes rebuilds
+
+  std::mutex batch_mu_;  ///< owns pool_.run (TaskPool is single-driver)
+  /// Declared last: destroyed (joined) first, so no gang thread outlives
+  /// the inner structures it applied sub-batches to.
+  TaskPool pool_;
+};
+
+}  // namespace condyn

@@ -38,6 +38,8 @@ namespace condyn::harness {
 //                         (default 0.25)
 //   DC_BENCH_COMMUNITIES  community count, component-local    (default 16)
 //   DC_BENCH_RUNLEN       ops per community before hopping    (default 64)
+//   DC_BENCH_SHARD_SKEW   work-imbalance hot-shard probability (default 0.8;
+//                         hot bucket defined by DC_SHARDS, DESIGN.md §10)
 
 /// Validate a RunConfig before a driver runs it: rejects threads == 0,
 /// measure_ms <= 0 and warmup_ms < 0 with std::invalid_argument; returns a
@@ -127,6 +129,7 @@ struct EnvConfig {
   double window_fraction;
   unsigned communities;
   unsigned run_length;
+  double shard_skew;
 };
 
 EnvConfig env_config();

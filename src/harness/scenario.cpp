@@ -262,6 +262,16 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
               g, cfg.read_percent, cfg.communities, cfg.seed, t,
               cfg.run_length);
         });
+
+  ScenarioCaps imb_caps = random_caps;
+  r.add("work-imbalance",
+        "shard-skewed mix: shard_skew of the draws hit edges that land "
+        "entirely on shard 0 of the sharded facade's router (DC_SHARDS / "
+        "DC_BENCH_SHARD_SKEW) — the static-partition worst case",
+        imb_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          return std::make_unique<WorkImbalanceStream>(
+              g, cfg.read_percent, thread_seed(cfg, t), cfg.shard_skew);
+        });
 }
 
 std::vector<Op> prefill_ops(Prefill p, const Graph& g, uint64_t seed) {

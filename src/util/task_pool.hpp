@@ -56,9 +56,11 @@ class SpinBarrier {
 class TaskPool {
  public:
   /// `workers` = total gang size including the caller; 0 picks the
-  /// DC_PBD_WORKERS environment default.
-  explicit TaskPool(unsigned workers = 0)
-      : total_(workers == 0 ? env_workers() : workers) {}
+  /// environment default from `env` (DC_PBD_WORKERS unless the owner —
+  /// e.g. ShardedDc with DC_SHARD_WORKERS — names its own knob).
+  explicit TaskPool(unsigned workers = 0,
+                    const char* env = "DC_PBD_WORKERS")
+      : total_(workers == 0 ? env_workers(env) : workers) {}
 
   ~TaskPool() {
     {
@@ -95,11 +97,11 @@ class TaskPool {
     job_ = nullptr;
   }
 
-  /// Gang size from DC_PBD_WORKERS, defaulting to the hardware concurrency
-  /// clamped to [1, 8] — beyond that the guarded net-op phase is contention-
-  /// bound, not core-bound.
-  static unsigned env_workers() {
-    if (const char* s = std::getenv("DC_PBD_WORKERS")) {
+  /// Gang size from the named environment knob (default DC_PBD_WORKERS),
+  /// falling back to the hardware concurrency clamped to [1, 8] — beyond
+  /// that the guarded net-op phase is contention-bound, not core-bound.
+  static unsigned env_workers(const char* env = "DC_PBD_WORKERS") {
+    if (const char* s = std::getenv(env)) {
       const long v = std::strtol(s, nullptr, 10);
       if (v >= 1 && v <= 64) return static_cast<unsigned>(v);
     }

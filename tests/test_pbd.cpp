@@ -264,9 +264,12 @@ TEST(PbdRegistry, CapsAreHonest) {
   EXPECT_TRUE(v->caps.stable_representative);
   EXPECT_FALSE(v->caps.combining);
   EXPECT_FALSE(v->caps.label_cache);
-  // pbd is the only internally parallel family; nobody else claims the cap.
+  // Only the internally parallel batch families claim the cap: pbd (one
+  // gang inside the engine) and the sharded facades (a gang fanning
+  // per-shard sub-batches).
   for (const VariantInfo& info : all_variants()) {
-    if (info.id != v->id) {
+    if (info.id != v->id &&
+        std::string(info.name).rfind("sharded<", 0) != 0) {
       EXPECT_FALSE(info.caps.internal_parallel) << info.name;
     }
   }

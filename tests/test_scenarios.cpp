@@ -55,7 +55,7 @@ Graph tiny_graph() { return gen::erdos_renyi(24, 60, 3); }
 
 TEST(ScenarioRegistry, EnumeratesTheBuiltins) {
   const auto& scenarios = harness::all_scenarios();
-  EXPECT_GE(scenarios.size(), 15u);
+  EXPECT_GE(scenarios.size(), 16u);
   // Ids are sequential in registration order, names unique.
   std::set<std::string> names;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {

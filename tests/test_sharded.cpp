@@ -1,0 +1,253 @@
+// Sharded facade (DESIGN.md §10): router/shard-count contracts, boundary
+// accounting, DSU-oracle equality on every query kind — including
+// cross-shard connected()/component_size() through the boundary index —
+// components() snapshot equality, caps honesty, and a 4-thread churn run
+// with cross-shard edges checked for quiesced exactness.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "api/factory.hpp"
+#include "core/sharded_dc.hpp"
+#include "graph/dsu.hpp"
+#include "util/random.hpp"
+#include "query_oracle.hpp"
+
+namespace condyn {
+namespace {
+
+std::unique_ptr<ShardedDc> make_sharded(Vertex n, unsigned shards) {
+  return std::make_unique<ShardedDc>(
+      n, "sharded-test",
+      [](Vertex ns, bool sampling) {
+        return make_variant("full", ns, sampling);
+      },
+      /*sampling=*/true, shards);
+}
+
+TEST(Sharded, RouterIsDeterministicAndMasked) {
+  for (Vertex v = 0; v < 256; ++v) {
+    EXPECT_EQ(ShardedDc::route(v, 0), 0u);
+    EXPECT_EQ(ShardedDc::route(v, 7), ShardedDc::route(v, 7));
+    EXPECT_LE(ShardedDc::route(v, 7), 7u);
+    // The 16-shard home refines the 8-shard one (pow2 mask nesting).
+    EXPECT_EQ(ShardedDc::route(v, 15) & 7u, ShardedDc::route(v, 7));
+  }
+}
+
+TEST(Sharded, ShardCountResolution) {
+  EXPECT_EQ(make_sharded(32, 16)->num_shards(), 16u);
+  EXPECT_EQ(make_sharded(32, 5)->num_shards(), 4u);  // round down to pow2
+  EXPECT_EQ(make_sharded(32, 1)->num_shards(), 1u);
+
+  ::setenv("DC_SHARDS", "8", 1);
+  EXPECT_EQ(ShardedDc::env_shards(), 8u);
+  EXPECT_EQ(make_sharded(32, 0)->num_shards(), 8u);
+  ::unsetenv("DC_SHARDS");
+  EXPECT_EQ(ShardedDc::env_shards(), 4u);  // documented default
+}
+
+TEST(Sharded, BoundaryEdgeAccounting) {
+  auto dc = make_sharded(64, 8);
+  // Find one intra-shard and one cross-shard pair.
+  Vertex cu = 0, cv = 0, iu = 0, iv = 0;
+  for (Vertex a = 0; a < 64 && (cu == cv || iu == iv); ++a) {
+    for (Vertex b = a + 1; b < 64; ++b) {
+      if (dc->shard_of(a) != dc->shard_of(b) && cu == cv) cu = a, cv = b;
+      if (dc->shard_of(a) == dc->shard_of(b) && iu == iv) iu = a, iv = b;
+    }
+  }
+  ASSERT_NE(cu, cv);
+  ASSERT_NE(iu, iv);
+  EXPECT_TRUE(dc->add_edge(cu, cv));
+  EXPECT_EQ(dc->boundary_edges(), 1u);
+  EXPECT_FALSE(dc->add_edge(cv, cu));  // canonical duplicate
+  EXPECT_EQ(dc->boundary_edges(), 1u);
+  EXPECT_TRUE(dc->add_edge(iu, iv));  // intra-shard: not a boundary edge
+  EXPECT_EQ(dc->boundary_edges(), 1u);
+  EXPECT_TRUE(dc->connected(cu, cv));
+  EXPECT_TRUE(dc->remove_edge(cu, cv));
+  EXPECT_EQ(dc->boundary_edges(), 0u);
+  EXPECT_FALSE(dc->connected(cu, cv));
+}
+
+TEST(Sharded, CrossShardPathExactOnAllQueryKinds) {
+  const Vertex n = 48;
+  auto dc = make_sharded(n, 8);
+  // A global path 0-1-2-...-n-1 crosses shard boundaries many times: every
+  // global query must see one component of size n represented by vertex 0.
+  for (Vertex v = 0; v + 1 < n; ++v) ASSERT_TRUE(dc->add_edge(v, v + 1));
+  for (Vertex v = 0; v < n; ++v) {
+    EXPECT_TRUE(dc->connected(0, v));
+    EXPECT_EQ(dc->component_size(v), n);
+    EXPECT_EQ(dc->representative(v), 0u);
+  }
+  // Split in the middle: both halves must report exact sizes and canonical
+  // representatives through the (now stale, lazily rebuilt) index.
+  const Vertex cut = n / 2;
+  ASSERT_TRUE(dc->remove_edge(cut - 1, cut));
+  EXPECT_FALSE(dc->connected(0, n - 1));
+  EXPECT_EQ(dc->component_size(0), cut);
+  EXPECT_EQ(dc->component_size(n - 1), n - cut);
+  EXPECT_EQ(dc->representative(n - 1), cut);
+  EXPECT_EQ(dc->representative(cut - 1), 0u);
+}
+
+TEST(Sharded, SequentialOracleAgreementAllKinds) {
+  const Vertex n = 64;
+  for (const char* name : {"sharded<full>", "sharded<coarse>"}) {
+    ::setenv("DC_SHARDS", "8", 1);
+    auto dc = make_variant(name, n);
+    ::unsetenv("DC_SHARDS");
+    testutil::QueryOracle oracle(n);
+    Xoshiro256 rng(2026);
+    for (int i = 0; i < 3000; ++i) {
+      const Vertex a = static_cast<Vertex>(rng.next_below(n));
+      Vertex b = static_cast<Vertex>(rng.next_below(n));
+      if (a == b) b = (b + 1) % n;
+      Op op;
+      switch (rng.next_below(5)) {
+        case 0: op = Op::add(a, b); break;
+        case 1: op = Op::remove(a, b); break;
+        case 2: op = Op::connected(a, b); break;
+        case 3: op = Op::component_size(a); break;
+        default: op = Op::representative(a); break;
+      }
+      EXPECT_EQ(exec_single(*dc, op), oracle.apply(op))
+          << name << " op " << i;
+    }
+  }
+}
+
+TEST(Sharded, BatchMatchesOracleReplay) {
+  const Vertex n = 64;
+  ::setenv("DC_SHARDS", "4", 1);
+  auto dc = make_variant("sharded<full>", n);
+  ::unsetenv("DC_SHARDS");
+  testutil::QueryOracle oracle(n);
+  Xoshiro256 rng(77);
+  std::vector<Op> batch;
+  for (int i = 0; i < 600; ++i) {
+    const Vertex a = static_cast<Vertex>(rng.next_below(n));
+    Vertex b = static_cast<Vertex>(rng.next_below(n));
+    if (a == b) b = (b + 1) % n;
+    switch (rng.next_below(5)) {
+      case 0: batch.push_back(Op::add(a, b)); break;
+      case 1: batch.push_back(Op::remove(a, b)); break;
+      case 2: batch.push_back(Op::connected(a, b)); break;
+      case 3: batch.push_back(Op::component_size(a)); break;
+      default: batch.push_back(Op::representative(b)); break;
+    }
+  }
+  // Queries are reorder barriers inside apply_batch, so a single-caller
+  // batch must reproduce the sequential program exactly.
+  const BatchResult r = dc->apply_batch(batch);
+  const std::vector<uint64_t> expect = oracle.replay(batch);
+  ASSERT_EQ(r.values.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_EQ(r.values[i], expect[i]) << "op " << i;
+}
+
+TEST(Sharded, ComponentsSnapshotMatchesOracle) {
+  const Vertex n = 72;
+  auto dc = make_sharded(n, 8);
+  testutil::QueryOracle oracle(n);
+  Xoshiro256 rng(404);
+  for (int i = 0; i < 500; ++i) {
+    const Vertex a = static_cast<Vertex>(rng.next_below(n));
+    Vertex b = static_cast<Vertex>(rng.next_below(n));
+    if (a == b) b = (b + 1) % n;
+    const Op op = rng.next_below(3) != 0 ? Op::add(a, b) : Op::remove(a, b);
+    EXPECT_EQ(exec_single(*dc, op), oracle.apply(op));
+  }
+  const ComponentsSnapshot snap = dc->components();
+  ASSERT_EQ(snap.labels.size(), n);
+  for (Vertex v = 0; v < n; ++v) {
+    // Labels are the canonical (smallest-id) member, matching
+    // representative() — including across boundary stitches.
+    EXPECT_EQ(snap.labels[v], oracle.apply(Op::representative(v))) << v;
+  }
+}
+
+TEST(Sharded, FourThreadChurnQuiescedEquality) {
+  const Vertex n = 96;
+  const unsigned kThreads = 4;
+  ::setenv("DC_SHARDS", "8", 1);
+  auto dc = make_variant("sharded<full>", n);
+  ::unsetenv("DC_SHARDS");
+
+  // Disjoint per-thread edge universes keep the final state deterministic:
+  // each edge's presence is decided solely by its own thread's sequence.
+  // The stripes deliberately contain cross-shard edges (u, u+stride).
+  std::vector<std::vector<Edge>> mine(kThreads);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex d = 1; d <= 5; ++d) {
+      const Vertex v = u + d;
+      if (v >= n) continue;
+      const Edge e(u, v);
+      mine[Edge(u, v).key() % kThreads].push_back(e);
+    }
+  }
+  std::vector<std::set<Edge>> fin(kThreads);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(900 + t);
+      for (int round = 0; round < 400; ++round) {
+        const Edge& e = mine[t][rng.next_below(mine[t].size())];
+        switch (rng.next_below(4)) {
+          case 0:
+            if (dc->add_edge(e.u, e.v)) fin[t].insert(e);
+            break;
+          case 1:
+            if (dc->remove_edge(e.u, e.v)) fin[t].erase(e);
+            break;
+          case 2:
+            dc->connected(e.u, e.v);  // exercise reads under churn
+            break;
+          default:
+            dc->component_size(e.u);
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  Dsu oracle(n);
+  std::size_t live = 0;
+  for (const auto& s : fin)
+    for (const Edge& e : s) oracle.unite(e.u, e.v), ++live;
+  ASSERT_GT(live, 0u);
+  for (Vertex u = 0; u < n; ++u) {
+    EXPECT_EQ(dc->component_size(u), oracle.component_size(u)) << u;
+    EXPECT_EQ(dc->representative(u), oracle.representative(u)) << u;
+    for (Vertex v = u + 1; v < n; ++v)
+      EXPECT_EQ(dc->connected(u, v), oracle.connected(u, v))
+          << u << "," << v;
+  }
+}
+
+TEST(Sharded, CapsAreHonest) {
+  for (const char* name : {"sharded<full>", "sharded<coarse>"}) {
+    const VariantInfo* v = find_variant(name);
+    ASSERT_NE(v, nullptr) << name;
+    EXPECT_TRUE(v->caps.native_batch) << name;
+    EXPECT_TRUE(v->caps.sized_components) << name;
+    EXPECT_TRUE(v->caps.stable_representative) << name;
+    EXPECT_TRUE(v->caps.internal_parallel) << name;
+    // The facade's global answers route through the boundary index, which
+    // is neither lock-free nor an atomic batch target nor a label cache.
+    EXPECT_FALSE(v->caps.lock_free_reads) << name;
+    EXPECT_FALSE(v->caps.atomic_batch) << name;
+    EXPECT_FALSE(v->caps.combining) << name;
+    EXPECT_FALSE(v->caps.label_cache) << name;
+  }
+}
+
+}  // namespace
+}  // namespace condyn
