@@ -15,13 +15,17 @@
 // TRACE, plus suite-specific:
 //   DC_BENCH_SECTIONS  comma list of sections to run (default
 //                      "graphs,sweep,batchpar,sharded,stats,retries,
-//                      ablation,dsu,memory,labels")
+//                      ablation,dsu,memory,labels,ingest")
 //   DC_BENCH_JSON      JSON output path (default "bench_suite.json")
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
 
 #include "bench_common.hpp"
@@ -29,6 +33,8 @@
 #include "core/sharded_dc.hpp"
 #include "graph/dsu.hpp"
 #include "graph/io.hpp"
+#include "graph/snapshot.hpp"
+#include "ingest/ingest.hpp"
 #include "util/spinlock.hpp"
 
 namespace {
@@ -172,6 +178,10 @@ void sweep_section(const EnvConfig& env, JsonReport& json) {
               cfg.threads = threads;
               cfg.read_percent = read_percent;
               cfg.batch_size = bs;
+              // Only paced scenarios get the open-loop rate: validated()
+              // rejects it on batched closed-loop scenarios by design, and
+              // a global DC_BENCH_RATE must not abort the whole sweep.
+              if (s->caps.paced) cfg.arrival_rate = env.arrival_rate;
               auto dc = make_variant(id, g.num_vertices());
               const RunResult r = harness::run_scenario(*s, *dc, g, cfg);
               std::string row = bench::variant_label(id);
@@ -671,6 +681,230 @@ void labels_section(const EnvConfig& env, JsonReport& json) {
   }
 }
 
+/// Percentile of a sorted sample vector, in microseconds from nanoseconds.
+double sojourn_us_at(const std::vector<uint32_t>& sorted_ns, double p) {
+  if (sorted_ns.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ns.size() - 1));
+  return sorted_ns[idx] / 1000.0;
+}
+
+/// One timed multi-producer run through an IngestService: `threads`
+/// producers each pull ops from their own stream and submit until the
+/// wall-clock window closes, then the service drains. Returns acked ops/ms.
+struct IngestRun {
+  double ops_per_ms = 0;
+  double elapsed_ms = 0;
+  ingest::IngestStats stats;
+  std::vector<uint32_t> sojourn_ns;  ///< sorted; record_sojourn runs only
+};
+
+IngestRun run_ingest(DynamicConnectivity& dc, const Graph& g,
+                     const EnvConfig& env, unsigned threads, int read_percent,
+                     ingest::IngestOptions opts, double rate) {
+  ingest::IngestService svc(dc, std::move(opts));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  for (unsigned t = 0; t < threads; ++t) {
+    producers.emplace_back([&, t] {
+      harness::PacedStream stream(
+          std::make_unique<harness::RandomOpStream>(
+              g, read_percent, mix64(env.seed ^ (0x16e57ull + t))),
+          rate > 0 ? rate / threads : 0);
+      Op op;
+      while (!stop.load(std::memory_order_relaxed) && stream.next(op))
+        svc.submit(op);
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(env.measure_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& p : producers) p.join();
+  svc.drain();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  IngestRun r;
+  r.stats = svc.stats();
+  r.elapsed_ms = elapsed_ms;
+  r.ops_per_ms =
+      elapsed_ms > 0 ? static_cast<double>(r.stats.acked) / elapsed_ms : 0;
+  r.sojourn_ns = svc.take_sojourn_ns();
+  std::sort(r.sojourn_ns.begin(), r.sojourn_ns.end());
+  svc.stop();
+  return r;
+}
+
+/// The streaming ingest section (DESIGN.md §11): four records that pin the
+/// subsystem's acceptance claims.
+///   closed-loop    the harness batch-random scenario at batch 256 — the
+///                  pre-ingest way to amortize synchronization, and the
+///                  throughput bar group commit must clear;
+///   group-commit   the same mix submitted by `threads` producers through
+///                  the MPSC ring + one applier draining <= 256 per pass;
+///   firehose       group commit again, but producers paced open-loop at
+///                  DC_BENCH_RATE (default: half the measured group-commit
+///                  capacity, so the queue is stable and the tail is
+///                  meaningful) — reports sojourn p50/p99/p999;
+///   recovery       a journaled run with a mid-stream snapshot, then a cold
+///                  recover_files into a fresh structure, timed and verified
+///                  against a DSU built from the recovered live-edge set.
+void ingest_section(const EnvConfig& env, JsonReport& json) {
+  const std::vector<Graph> small = bench::small_graphs(env);
+  if (small.empty()) return;
+  const Graph& g = small.front();
+  const unsigned threads = env.thread_counts.back();
+  const int read_percent = env.read_percents.front();
+  constexpr std::size_t kBatch = 256;
+  const char* variant = "full";
+  TableReport table("Streaming ingest (DESIGN.md §11)",
+                    {"mode", "threads", "rate/s", "ops/ms", "p50 us",
+                     "p99 us", "p999 us"});
+  auto add_record = [&](const char* mode, double rate, double ops_per_ms,
+                        const std::vector<uint32_t>& soj) {
+    char p50[32], p99[32], p999[32];
+    std::snprintf(p50, sizeof p50, "%.1f", sojourn_us_at(soj, 0.50));
+    std::snprintf(p99, sizeof p99, "%.1f", sojourn_us_at(soj, 0.99));
+    std::snprintf(p999, sizeof p999, "%.1f", sojourn_us_at(soj, 0.999));
+    char ops[32];
+    std::snprintf(ops, sizeof ops, "%.1f", ops_per_ms);
+    table.add_row({mode, std::to_string(threads),
+                   std::to_string(static_cast<uint64_t>(rate)), ops,
+                   soj.empty() ? "-" : p50, soj.empty() ? "-" : p99,
+                   soj.empty() ? "-" : p999});
+    return &json.add_record()
+                .field("section", "ingest")
+                .field("mode", mode)
+                .field("scenario", "batch-random")
+                .field("graph", g.name)
+                .field("variant", variant)
+                .field("threads", static_cast<int>(threads))
+                .field("read_percent", read_percent)
+                .field("batch_size", static_cast<uint64_t>(kBatch))
+                .field("rate", rate)
+                .field("ops_per_ms", ops_per_ms)
+                .field("sojourn_us_p50", sojourn_us_at(soj, 0.50))
+                .field("sojourn_us_p99", sojourn_us_at(soj, 0.99))
+                .field("sojourn_us_p999", sojourn_us_at(soj, 0.999));
+  };
+
+  // 1. Closed-loop batch baseline: the registry scenario, same mix.
+  double closed_ops = 0;
+  if (const ScenarioInfo* s = harness::find_scenario("batch-random")) {
+    RunConfig cfg = base_config(env);
+    cfg.threads = threads;
+    cfg.read_percent = read_percent;
+    cfg.batch_size = kBatch;
+    auto dc = make_variant(variant, g.num_vertices());
+    const RunResult r = harness::run_scenario(*s, *dc, g, cfg);
+    closed_ops = r.ops_per_ms;
+    add_record("closed-loop", 0, closed_ops, {});
+  }
+
+  // 2. Group commit at full producer speed.
+  ingest::IngestOptions base;
+  base.max_batch = kBatch;
+  double group_ops = 0;
+  {
+    auto dc = make_variant(variant, g.num_vertices());
+    const IngestRun r =
+        run_ingest(*dc, g, env, threads, read_percent, base, /*rate=*/0);
+    group_ops = r.ops_per_ms;
+    add_record("group-commit", 0, group_ops, {});
+  }
+  if (closed_ops > 0 && group_ops > 0)
+    std::printf("# ingest group-commit/closed-loop(b%zu) = %.2fx\n", kBatch,
+                group_ops / closed_ops);
+
+  // 3. Open-loop firehose at DC_BENCH_RATE (default: half of measured
+  // group-commit capacity — a stable queue whose tail means something).
+  {
+    const double rate = env.arrival_rate > 0 ? env.arrival_rate
+                                             : 0.5 * group_ops * 1000.0;
+    ingest::IngestOptions opts = base;
+    opts.record_sojourn = true;
+    auto dc = make_variant(variant, g.num_vertices());
+    const IngestRun r =
+        run_ingest(*dc, g, env, threads, read_percent, opts, rate);
+    add_record("firehose", rate, r.ops_per_ms, r.sojourn_ns);
+  }
+
+  // 4. Durability + recovery: journaled run, snapshot at the half-way
+  // point, then a timed cold recovery verified against the live-edge DSU.
+  {
+    const std::string journal = "bench_ingest_journal.dcjl";
+    const std::string snapshot = "bench_ingest_snapshot.dcsn";
+    std::remove(journal.c_str());
+    std::remove(snapshot.c_str());
+    ingest::IngestOptions opts = base;
+    opts.journal_path = journal;
+    double journaled_ops = 0;
+    {
+      auto dc = make_variant(variant, g.num_vertices());
+      ingest::IngestService svc(*dc, opts);
+      std::atomic<bool> stop{false};
+      std::vector<std::thread> producers;
+      for (unsigned t = 0; t < threads; ++t) {
+        producers.emplace_back([&, t] {
+          harness::RandomOpStream stream(g, read_percent,
+                                         mix64(env.seed ^ (0xf1a5ull + t)));
+          Op op;
+          while (!stop.load(std::memory_order_relaxed) && stream.next(op))
+            svc.submit(op);
+        });
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(env.measure_ms / 2));
+      svc.snapshot_to(snapshot);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(env.measure_ms - env.measure_ms / 2));
+      stop.store(true, std::memory_order_relaxed);
+      for (auto& p : producers) p.join();
+      svc.drain();
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      journaled_ops = elapsed_ms > 0 ? svc.stats().acked / elapsed_ms : 0;
+      svc.stop();
+    }
+    auto recovered = make_variant(variant, g.num_vertices());
+    const auto r0 = std::chrono::steady_clock::now();
+    const ingest::RecoveryResult rec =
+        ingest::recover_files(*recovered, snapshot, journal);
+    const double recovery_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - r0)
+            .count();
+    // Verify: the recovered structure must agree with a DSU over the
+    // recovered live-edge set on every vertex's representative.
+    Dsu oracle(g.num_vertices());
+    for (const Edge& e : rec.live_edges) oracle.unite(e.u, e.v);
+    bool verified = true;
+    for (Vertex v = 0; v < g.num_vertices() && verified; ++v)
+      verified = recovered->representative(v) == oracle.representative(v);
+    add_record("recovery", 0, journaled_ops, {})
+        ->field("recovery_ms", recovery_ms)
+        .field("journal_records", rec.journal_records)
+        .field("replayed", rec.replayed)
+        .field("snapshot_edges", rec.snapshot_edges)
+        .field("live_edges", static_cast<uint64_t>(rec.live_edges.size()))
+        .field("verified", verified ? 1 : 0);
+    std::printf("# ingest recovery: %llu snapshot edges + %llu/%llu journal "
+                "records in %.2f ms (%s)\n",
+                static_cast<unsigned long long>(rec.snapshot_edges),
+                static_cast<unsigned long long>(rec.replayed),
+                static_cast<unsigned long long>(rec.journal_records),
+                recovery_ms, verified ? "verified" : "MISMATCH");
+    std::remove(journal.c_str());
+    std::remove(snapshot.c_str());
+    std::remove((snapshot + ".tmp").c_str());
+  }
+  table.print();
+}
+
 /// The cross-machine calibration record (scripts/bench_diff.py): one fixed
 /// single-thread coarse run on a fixed graph with fixed windows, deliberately
 /// independent of every DC_BENCH_* knob, emitted into every artifact. Two
@@ -846,7 +1080,7 @@ int main(int argc, char** argv) {
   for (const std::string& section :
        harness::env_list("DC_BENCH_SECTIONS",
                          "graphs,sweep,batchpar,sharded,stats,retries,"
-                         "ablation,dsu,memory,labels")) {
+                         "ablation,dsu,memory,labels,ingest")) {
     if (section == "graphs") {
       graphs_section(env, json);
     } else if (section == "sweep") {
@@ -867,6 +1101,8 @@ int main(int argc, char** argv) {
       memory_section(env, json);
     } else if (section == "labels") {
       labels_section(env, json);
+    } else if (section == "ingest") {
+      ingest_section(env, json);
     } else {
       std::printf("# unknown section \"%s\" skipped\n", section.c_str());
     }

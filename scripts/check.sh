@@ -4,6 +4,9 @@
 # the checked-in SNAP sample, and the unified bench suite across every
 # scenario. CHECK_TSAN=1 additionally mirrors the CI ThreadSanitizer job
 # (concurrency suites + dependency-preserving replay under -fsanitize=thread).
+# CHECK_RECOVERY=1 mirrors the CI crash-recovery job: SIGKILL the ingest
+# service mid-stream at a randomized point, restart, recover, and verify the
+# recovered graph against the DSU oracle.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,6 +19,9 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 
 ./build/example_batch_processor
 ./build/example_trace_replay
+# End-to-end ingest pass: group commit, mid-stream snapshot, ticketed
+# submit, recovery, oracle verification (DESIGN.md §11).
+./build/example_ingest_service demo
 
 # trace_convert on the checked-in sample: <= 3 bytes/op in v2, byte-stable
 # v1<->v2 recompress round trip, strict --info decode of the golden traces.
@@ -37,10 +43,16 @@ cmp "$sample_trace" "$sample_rt"
 ./build/trace_convert info tests/data/golden_v3.dctr | grep -q "version:      3"
 # --reads synthesis with size queries must emit a valid v3 trace.
 sample_reads="$(mktemp /tmp/check-sample-reads.XXXXXX.dctr)"
-trap 'rm -f "$sample_trace" "$sample_v1" "$sample_rt" "$sample_reads" "$trace" "$json"' EXIT
+snap_trace="$(mktemp /tmp/check-snap.XXXXXX.dctr)"
+trap 'rm -f "$sample_trace" "$sample_v1" "$sample_rt" "$sample_reads" "$snap_trace" "$trace" "$json"' EXIT
 ./build/trace_convert recompress "$sample_trace" "$sample_reads" \
   --reads 80 --size-queries | grep -q "version:      3"
 ./build/trace_convert info "$sample_reads" > /dev/null
+# snapshot subcommand: decode the golden DCSN, extract its live-edge set as
+# a standalone trace, and decode that trace strictly.
+./build/trace_convert snapshot tests/data/golden.dcsn "$snap_trace" |
+  grep -q "applied_seq:  77"
+./build/trace_convert info "$snap_trace" > /dev/null
 
 ./build/bench_suite --list | grep -q "Variants (16 registered)"
 DC_BENCH_SCALE=0.01 ./build/bench_suite --record random "$trace" 2000
@@ -52,7 +64,7 @@ python3 -c "
 import json, sys
 d = json.load(open('$json'))
 n = len({r['scenario'] for r in d['results'] if r['section'] == 'sweep'})
-assert n >= 12, f'expected >= 12 scenarios, got {n}'
+assert n >= 13, f'expected >= 13 scenarios, got {n}'
 assert [r for r in d['results'] if r['section'] == 'memory'], 'no memory records'
 assert [r for r in d['results'] if r['section'] == 'calibration'], 'no calibration record'
 dep = [r for r in d['results'] if r['section'] == 'sweep' and r['scenario'] == 'trace-replay-dep']
@@ -62,6 +74,8 @@ assert sq and all(r['ops_component_size'] > 0 and r['component_size_per_ms'] > 0
     'size-query per-kind throughput missing'
 bulk = [r for r in d['results'] if r['section'] == 'sweep' and r['scenario'] == 'bulk-connected']
 assert bulk and all(r['batches'] > 0 for r in bulk), 'bulk-connected batched records missing'
+fire = [r for r in d['results'] if r['section'] == 'sweep' and r['scenario'] == 'firehose']
+assert fire and all(r['ops_per_ms'] > 0 for r in fire), 'firehose scenario produced no throughput'
 lab = [r for r in d['results'] if r['section'] == 'labels']
 assert {r['label_cache'] for r in lab} == {0, 1}, 'labels section must record cache-on and cache-off rows'
 assert any(r['label_cache'] == 1 and r['label_hits'] > 0 for r in lab), 'label cache never hit in the labels smoke'
@@ -74,6 +88,20 @@ assert any(r['variant'].startswith('sharded<') and r['shard_cross_updates'] > 0 
 acc = [r for r in bp if r['variant'] == 'pbd' and r['batch_size'] >= 1024 and r['threads'] == 8]
 assert {r['scenario'] for r in acc} == {'batch-zipfian', 'batch-window'} and \
     all(r['ops_per_ms'] > 0 for r in acc), 'pbd acceptance records (batch >= 1024, 8 threads) missing'
+ing = [r for r in d['results'] if r['section'] == 'ingest']
+assert {r['mode'] for r in ing} == {'closed-loop', 'group-commit', 'firehose', 'recovery'}, \
+    'ingest section must record all four modes'
+f = next(r for r in ing if r['mode'] == 'firehose')
+assert f['sojourn_us_p99'] > 0 and f['sojourn_us_p999'] >= f['sojourn_us_p99'], \
+    'firehose sojourn percentiles missing or non-monotone'
+rec = next(r for r in ing if r['mode'] == 'recovery')
+assert rec['verified'] == 1 and rec['recovery_ms'] > 0 and rec['journal_records'] > 0, \
+    'ingest recovery record incomplete'
+ing_modes = {r['mode']: r for r in ing}
+cl, gc = ing_modes['closed-loop'], ing_modes['group-commit']
+assert gc['ops_per_ms'] >= 0.95 * cl['ops_per_ms'], \
+    f'group commit {gc[\"ops_per_ms\"]:.1f} < closed loop {cl[\"ops_per_ms\"]:.1f} ops/ms'
+print(f'ingest: group-commit/closed-loop = {gc[\"ops_per_ms\"]/cl[\"ops_per_ms\"]:.2f}x')
 print(f'bench_suite smoke: {len(d[\"results\"])} JSON records, {n} scenarios')
 "
 
@@ -87,10 +115,33 @@ if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   cmake -B build-tsan -S . -DCONDYN_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" \
     --target test_concurrent test_nb_hdt test_scenarios test_replay_dep \
-             test_query_api test_label_cache test_batch test_pbd test_sharded
+             test_query_api test_label_cache test_batch test_pbd test_sharded \
+             test_ingest
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
     --output-on-failure -j 2 \
-    -R 'test_concurrent|test_nb_hdt|test_scenarios|test_replay_dep|test_query_api|test_label_cache|test_batch|test_pbd|test_sharded'
+    -R 'test_concurrent|test_nb_hdt|test_scenarios|test_replay_dep|test_query_api|test_label_cache|test_batch|test_pbd|test_sharded|test_ingest'
+fi
+
+# Optional mirror of the CI crash-recovery job: kill -9 the serving process
+# at a randomized point mid-ingest, then recover from snapshot + journal
+# tail and require DSU-oracle equality. Two rounds on one directory so the
+# second pass also exercises journal reattach over a truncated torn tail.
+if [[ "${CHECK_RECOVERY:-0}" == "1" ]]; then
+  recovery_dir="$(mktemp -d /tmp/check-recovery.XXXXXX)"
+  recover_out="$(mktemp /tmp/check-recover.XXXXXX.out)"
+  for round in 1 2; do
+    delay="$(python3 -c "import random; random.seed(${CHECK_RECOVERY_SEED:-$$} + $round); print(round(random.uniform(0.4, 2.0), 2))")"
+    echo "crash-recovery round $round: killing after ${delay}s"
+    ./build/example_ingest_service serve "$recovery_dir" 4096 20000 &
+    serve_pid=$!
+    sleep "$delay"
+    kill -9 "$serve_pid"
+    wait "$serve_pid" || true
+    test -s "$recovery_dir/journal.dcjl"
+    ./build/example_ingest_service recover "$recovery_dir" | tee "$recover_out"
+    grep -q "verified: recovered graph matches DSU oracle" "$recover_out"
+  done
+  rm -rf "$recovery_dir" "$recover_out"
 fi
 
 echo "check.sh: all green"

@@ -221,6 +221,8 @@ std::shared_ptr<const ShardedDc::BoundaryIndex> ShardedDc::current_index() {
   return cur;
 }
 
+void ShardedDc::quiesce() { current_index(); }
+
 std::shared_ptr<const ShardedDc::BoundaryIndex> ShardedDc::rebuild_index() {
   ++op_stats::local().shard_index_rebuilds;
   auto idx = std::make_shared<BoundaryIndex>();

@@ -70,6 +70,10 @@ class ShardedDc final : public DynamicConnectivity {
   Vertex representative(Vertex u) override;
   ComponentsSnapshot components() override;
   BatchResult apply_batch(std::span<const Op> ops) override;
+  /// Quiesce hook (ingest snapshot/recovery): force-rebuild the boundary
+  /// index now if stale, so the first post-quiesce cross-shard query reads
+  /// a published index instead of paying the rebuild inline.
+  void quiesce() override;
 
   Vertex num_vertices() const override { return n_; }
   std::string name() const override { return name_; }

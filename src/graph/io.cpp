@@ -274,6 +274,10 @@ Trace load_trace_v1(std::istream& in) {
     op.kind = static_cast<OpKind>(kind);
     op.u = read_u32(in);
     op.v = read_u32(in);
+    if (op.u >= t.num_vertices || op.v >= t.num_vertices)
+      fail("corrupt trace: op addresses vertex >= num_vertices (" +
+           std::to_string(op.u) + "," + std::to_string(op.v) + " vs " +
+           std::to_string(t.num_vertices) + ")");
     t.ops.push_back(op);
   }
   return t;

@@ -1,0 +1,220 @@
+#include "graph/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace condyn::io {
+
+namespace {
+
+void put_u32(char* out, uint32_t v) {
+  out[0] = static_cast<char>(v & 0xff);
+  out[1] = static_cast<char>((v >> 8) & 0xff);
+  out[2] = static_cast<char>((v >> 16) & 0xff);
+  out[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+void put_u64(char* out, uint64_t v) {
+  put_u32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  put_u32(out + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t get_u32(const char* in) {
+  const auto* b = reinterpret_cast<const unsigned char*>(in);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t get_u64(const char* in) {
+  return static_cast<uint64_t>(get_u32(in)) |
+         (static_cast<uint64_t>(get_u32(in + 4)) << 32);
+}
+
+/// FNV-1a over the record prefix — cheap, dependency-free, and plenty to
+/// tell a torn tail from a good record (this is corruption *detection* at
+/// the single-record scale, not cryptographic integrity).
+uint32_t fnv1a32(const char* data, std::size_t n) {
+  uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("snapshot/journal: " + what);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DCSN snapshot
+
+void save_snapshot(const Snapshot& s, std::ostream& out) {
+  for (const Op& op : s.edges.ops) {
+    if (op.kind != OpKind::kAdd) {
+      fail("snapshot trace must contain only add ops");
+    }
+  }
+  char header[16];
+  std::memcpy(header, kSnapshotMagic, 4);
+  put_u32(header + 4, kSnapshotVersion);
+  put_u64(header + 8, s.applied_seq);
+  out.write(header, sizeof header);
+  // One wire generation for the embedded trace (v3) keeps snapshots of the
+  // same edge set byte-identical across writer versions — the property the
+  // golden-file tests pin.
+  save_trace(s.edges, out, TraceFormat::kV3);
+  if (!out) fail("write failed");
+}
+
+void save_snapshot_file(const Snapshot& s, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) fail("cannot open " + path + " for writing");
+  save_snapshot(s, f);
+  f.flush();
+  if (!f) fail("write failed: " + path);
+}
+
+void save_snapshot_file_atomic(const Snapshot& s, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  save_snapshot_file(s, tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("rename " + tmp + " -> " + path + " failed");
+  }
+}
+
+Snapshot load_snapshot(std::istream& in) {
+  char header[16];
+  in.read(header, sizeof header);
+  if (in.gcount() != sizeof header) fail("short snapshot header");
+  if (std::memcmp(header, kSnapshotMagic, 4) != 0) {
+    fail("bad snapshot magic");
+  }
+  const uint32_t version = get_u32(header + 4);
+  if (version != kSnapshotVersion) {
+    fail("unknown snapshot version " + std::to_string(version));
+  }
+  Snapshot s;
+  s.applied_seq = get_u64(header + 8);
+  s.edges = load_trace(in);  // strict: truncation / overflow throws
+  for (const Op& op : s.edges.ops) {
+    if (op.kind != OpKind::kAdd) {
+      fail("snapshot trace contains a non-add op");
+    }
+  }
+  return s;
+}
+
+Snapshot load_snapshot_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) fail("cannot open " + path);
+  return load_snapshot(f);
+}
+
+Snapshot make_snapshot(uint64_t applied_seq, Vertex num_vertices,
+                       std::vector<Edge> live_edges) {
+  std::sort(live_edges.begin(), live_edges.end());
+  Snapshot s;
+  s.applied_seq = applied_seq;
+  s.edges.num_vertices = num_vertices;
+  s.edges.ops.reserve(live_edges.size());
+  for (const Edge& e : live_edges) s.edges.ops.push_back(Op::add(e.u, e.v));
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// DCJL journal
+
+void encode_journal_header(char out[kJournalHeaderBytes], Vertex num_vertices) {
+  std::memcpy(out, kJournalMagic, 4);
+  put_u32(out + 4, kJournalVersion);
+  put_u32(out + 8, num_vertices);
+  put_u32(out + 12, 0);  // reserved
+}
+
+void encode_journal_record(char out[kJournalRecordBytes], uint64_t seq,
+                           const Op& op) {
+  put_u64(out, seq);
+  out[8] = static_cast<char>(op.kind);
+  put_u32(out + 9, op.u);
+  put_u32(out + 13, op.v);
+  put_u32(out + 17, fnv1a32(out, 17));
+}
+
+void write_journal_header(std::ostream& out, Vertex num_vertices) {
+  char buf[kJournalHeaderBytes];
+  encode_journal_header(buf, num_vertices);
+  out.write(buf, sizeof buf);
+}
+
+void write_journal_record(std::ostream& out, uint64_t seq, const Op& op) {
+  char buf[kJournalRecordBytes];
+  encode_journal_record(buf, seq, op);
+  out.write(buf, sizeof buf);
+}
+
+JournalData load_journal(std::istream& in) {
+  char header[kJournalHeaderBytes];
+  in.read(header, sizeof header);
+  if (in.gcount() != static_cast<std::streamsize>(sizeof header)) {
+    fail("short journal header");
+  }
+  if (std::memcmp(header, kJournalMagic, 4) != 0) fail("bad journal magic");
+  const uint32_t version = get_u32(header + 4);
+  if (version != kJournalVersion) {
+    fail("unknown journal version " + std::to_string(version));
+  }
+  JournalData j;
+  j.num_vertices = get_u32(header + 8);
+  char rec[kJournalRecordBytes];
+  uint64_t prev_seq = 0;
+  for (;;) {
+    in.read(rec, sizeof rec);
+    const auto got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;  // clean end-of-file
+    if (got < sizeof rec) {
+      // Torn tail: the process died mid-append. Drop it and report.
+      j.truncated_tail = true;
+      j.tail_bytes = got;
+      break;
+    }
+    const uint32_t crc = get_u32(rec + 17);
+    const uint64_t seq = get_u64(rec);
+    const auto kind = static_cast<uint8_t>(rec[8]);
+    const Vertex u = get_u32(rec + 9);
+    const Vertex v = get_u32(rec + 13);
+    const bool good = crc == fnv1a32(rec, 17) && kind <= 1 && seq > prev_seq &&
+                      u < j.num_vertices && v < j.num_vertices;
+    if (!good) {
+      // Corrupt record: everything from here on is untrusted — same WAL
+      // stance as a torn tail. Count the rest of the file as dropped.
+      j.truncated_tail = true;
+      j.tail_bytes = got;
+      while (in.read(rec, sizeof rec) || in.gcount() > 0) {
+        j.tail_bytes += static_cast<std::size_t>(in.gcount());
+        if (in.gcount() == 0) break;
+      }
+      break;
+    }
+    prev_seq = seq;
+    j.records.push_back(
+        {seq, Op{kind == 0 ? OpKind::kAdd : OpKind::kRemove, u, v}});
+  }
+  return j;
+}
+
+JournalData load_journal_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return {};  // no journal yet: empty history, not an error
+  return load_journal(f);
+}
+
+}  // namespace condyn::io

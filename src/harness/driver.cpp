@@ -307,12 +307,31 @@ RunConfig validated(const RunConfig& cfg) {
   if (out.communities == 0) out.communities = 1;
   if (out.run_length == 0) out.run_length = 1;
   out.shard_skew = std::clamp(out.shard_skew, 0.0, 1.0);
+  if (out.arrival_rate < 0) out.arrival_rate = 0;
+  return out;
+}
+
+RunConfig validated(const RunConfig& cfg, const ScenarioCaps& caps) {
+  RunConfig out = validated(cfg);
+  if (out.arrival_rate > 0) {
+    if (caps.batched) {
+      // A paced *batched* run would sleep inside fill_batch: the arrival
+      // schedule would gate batch assembly, so neither the closed-loop
+      // apply_batch cost nor the open-loop sojourn is what gets measured.
+      // This is a config bug, not a preference — reject it loudly.
+      throw std::invalid_argument(
+          "RunConfig: arrival_rate (DC_BENCH_RATE) is incompatible with a "
+          "batched closed-loop scenario; use the firehose scenario or the "
+          "bench ingest section for paced runs");
+    }
+    if (!caps.paced) out.arrival_rate = 0;  // no pacing hook: ignore
+  }
   return out;
 }
 
 RunResult run_scenario(const ScenarioInfo& s, DynamicConnectivity& dc,
                        const Graph& g, const RunConfig& raw) {
-  RunConfig cfg = validated(raw);
+  RunConfig cfg = validated(raw, s.caps);
   if (s.caps.needs_trace && cfg.preloaded_trace == nullptr) {
     // Load the trace once here, for two reasons: trace problems surface on
     // the caller thread (an exception escaping a worker's stream factory
@@ -425,6 +444,7 @@ EnvConfig env_config() {
   cfg.communities = static_cast<unsigned>(env_u64("DC_BENCH_COMMUNITIES", 16));
   cfg.run_length = static_cast<unsigned>(env_u64("DC_BENCH_RUNLEN", 64));
   cfg.shard_skew = env_double("DC_BENCH_SHARD_SKEW", 0.8);
+  cfg.arrival_rate = env_double("DC_BENCH_RATE", 0);
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   for (const std::string& item : env_list("DC_BENCH_THREADS")) {

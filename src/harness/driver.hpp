@@ -40,11 +40,21 @@ namespace condyn::harness {
 //   DC_BENCH_RUNLEN       ops per community before hopping    (default 64)
 //   DC_BENCH_SHARD_SKEW   work-imbalance hot-shard probability (default 0.8;
 //                         hot bucket defined by DC_SHARDS, DESIGN.md §10)
+//   DC_BENCH_RATE         open-loop target arrival rate, ops/sec aggregate
+//                         (default 0 = unpaced; paced scenarios only —
+//                         firehose and the bench `ingest` section)
 
 /// Validate a RunConfig before a driver runs it: rejects threads == 0,
 /// measure_ms <= 0 and warmup_ms < 0 with std::invalid_argument; returns a
 /// copy with read_percent clamped to [0, 100] and batch_size clamped to >= 1.
 RunConfig validated(const RunConfig& cfg);
+
+/// Caps-aware validation, called by run_scenario: everything above, plus
+/// knob/scenario compatibility. arrival_rate > 0 on a batched closed-loop
+/// scenario is rejected (pacing the batch filler measures neither the
+/// closed-loop nor the open-loop regime); on a non-paced scenario it is
+/// cleared to 0 (the stream has no pacing hook to honor it).
+RunConfig validated(const RunConfig& cfg, const ScenarioCaps& caps);
 
 /// Aggregated measurements of one run.
 struct RunResult {
@@ -130,6 +140,9 @@ struct EnvConfig {
   unsigned communities;
   unsigned run_length;
   double shard_skew;
+  /// Open-loop arrival rate from DC_BENCH_RATE (ops/sec aggregate; 0 =
+  /// unpaced). Only handed to paced scenarios / the ingest bench section.
+  double arrival_rate;
 };
 
 EnvConfig env_config();

@@ -272,6 +272,24 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
           return std::make_unique<WorkImbalanceStream>(
               g, cfg.read_percent, thread_seed(cfg, t), cfg.shard_skew);
         });
+
+  ScenarioCaps fire_caps = random_caps;
+  fire_caps.paced = true;
+  r.add("firehose",
+        "open-loop sustained ingest: the random mix released on a fixed "
+        "arrival schedule of DC_BENCH_RATE ops/sec aggregate across threads "
+        "(0 = unpaced) — the arrival process of the ingest pipeline "
+        "(DESIGN.md §11), whose sojourn tails the bench `ingest` section "
+        "measures end to end",
+        fire_caps, [](const Graph& g, const RunConfig& cfg, unsigned t) {
+          auto inner = std::make_unique<RandomOpStream>(g, cfg.read_percent,
+                                                        thread_seed(cfg, t));
+          // Aggregate rate split evenly over the workers; each thread owns
+          // an independent fixed-interval schedule.
+          return std::make_unique<PacedStream>(
+              std::move(inner),
+              cfg.arrival_rate > 0 ? cfg.arrival_rate / cfg.threads : 0);
+        });
 }
 
 std::vector<Op> prefill_ops(Prefill p, const Graph& g, uint64_t seed) {

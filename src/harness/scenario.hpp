@@ -36,6 +36,10 @@ struct ScenarioCaps {
   /// The driver times every individual operation and RunResult carries
   /// latency percentiles (the closed-loop measurement of trace-replay-dep).
   bool tracks_latency = false;
+  /// The stream paces itself to RunConfig::arrival_rate (DC_BENCH_RATE) —
+  /// the open-loop firehose family. validated(cfg, caps) clears
+  /// arrival_rate for non-paced scenarios and rejects it on batched ones.
+  bool paced = false;
   Prefill prefill = Prefill::kNone;
 };
 

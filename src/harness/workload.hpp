@@ -1,9 +1,11 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/dynamic_connectivity.hpp"
@@ -33,6 +35,12 @@ struct RunConfig {
   unsigned communities = 16;     ///< component-local community count
   unsigned run_length = 64;      ///< component-local ops before hopping
   double shard_skew = 0.8;       ///< work-imbalance hot-shard probability
+  /// Open-loop target arrival rate in ops/sec, aggregate across threads
+  /// (DC_BENCH_RATE); 0 = unpaced. Only paced scenarios (ScenarioCaps::
+  /// paced — firehose) honor it; validated(cfg, caps) *rejects* it on
+  /// batched closed-loop scenarios, where pacing the batch filler would
+  /// silently measure neither arrival process.
+  double arrival_rate = 0;
   /// Set by run_scenario for needs_trace scenarios: the trace loaded once
   /// for validation, shared with every worker's stream factory so a run
   /// doesn't re-read the file per thread. Leave unset to load trace_path.
@@ -283,6 +291,48 @@ class WorkImbalanceStream final : public OpStream {
   uint32_t skew_pct_;          // skew as a [0, 100] percentage
   int read_percent_;
   Xoshiro256 rng_;
+};
+
+/// Open-loop pacing decorator: arrivals of the inner stream are released on
+/// a fixed schedule of one op every 1/ops_per_sec seconds, anchored at the
+/// first draw. When the consumer falls behind the schedule, next() does not
+/// sleep at all until the backlog is worked off — that is the open-loop
+/// property (arrivals don't slow down because the system is slow), and it
+/// is what makes sojourn time under overload diverge instead of plateau.
+/// ops_per_sec <= 0 degrades to the unpaced inner stream.
+class PacedStream final : public OpStream {
+ public:
+  PacedStream(std::unique_ptr<OpStream> inner, double ops_per_sec)
+      : inner_(std::move(inner)),
+        interval_ns_(ops_per_sec > 0
+                         ? static_cast<uint64_t>(1e9 / ops_per_sec)
+                         : 0) {}
+
+  bool next(Op& op) override {
+    if (!inner_->next(op)) return false;
+    if (interval_ns_ == 0) return true;
+    const uint64_t now = now_ns();
+    if (due_ns_ == 0) due_ns_ = now;  // schedule starts at the first draw
+    due_ns_ += interval_ns_;
+    if (now < due_ns_) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(due_ns_ - now));
+    }
+    return true;
+  }
+
+  uint64_t interval_ns() const noexcept { return interval_ns_; }
+
+ private:
+  static uint64_t now_ns() noexcept {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  std::unique_ptr<OpStream> inner_;
+  uint64_t interval_ns_;
+  uint64_t due_ns_ = 0;  ///< next scheduled arrival (0 = not started)
 };
 
 /// Deterministic half-of-the-graph subset used to pre-fill the structure in

@@ -114,6 +114,42 @@ TEST(Workload, RunConfigValidation) {
                std::invalid_argument);
 }
 
+TEST(Workload, ValidationRejectsArrivalRateOnClosedLoopBatchScenarios) {
+  harness::RunConfig cfg;
+  cfg.arrival_rate = 50000;
+
+  // A batched closed-loop scenario cannot honor an open-loop rate: pacing
+  // the batch filler measures neither regime, so it must throw loudly
+  // (a global DC_BENCH_RATE silently distorting batch numbers would be
+  // worse than an error).
+  harness::ScenarioCaps batched;
+  batched.batched = true;
+  EXPECT_THROW(harness::validated(cfg, batched), std::invalid_argument);
+
+  // Non-paced per-op scenarios have no pacing hook: the rate is cleared,
+  // not an error, so one exported DC_BENCH_RATE doesn't break a sweep.
+  harness::ScenarioCaps plain;
+  EXPECT_EQ(harness::validated(cfg, plain).arrival_rate, 0.0);
+
+  // Paced scenarios (firehose) keep the rate.
+  harness::ScenarioCaps paced;
+  paced.paced = true;
+  EXPECT_EQ(harness::validated(cfg, paced).arrival_rate, 50000.0);
+
+  // A negative rate is clamped to "unpaced" everywhere.
+  cfg.arrival_rate = -1;
+  EXPECT_EQ(harness::validated(cfg, paced).arrival_rate, 0.0);
+
+  // End to end: the batch driver rejects the env knob combination.
+  cfg = harness::RunConfig{};
+  cfg.arrival_rate = 1000;
+  cfg.measure_ms = 5;
+  cfg.warmup_ms = 0;
+  Graph g = gen::erdos_renyi(20, 40, 2);
+  auto dc = make_variant(1, g.num_vertices());
+  EXPECT_THROW(harness::run_batch(*dc, g, cfg), std::invalid_argument);
+}
+
 TEST(Workload, BatchStreamMatchesPerOpStream) {
   Graph g = gen::erdos_renyi(40, 100, 5);
   harness::RandomOpStream ops(g, 80, 123);

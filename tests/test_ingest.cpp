@@ -1,0 +1,573 @@
+// The streaming ingest subsystem (DESIGN.md §11): the MPSC ring's
+// producer/consumer contracts, group-commit equivalence against direct
+// apply_batch, the three backpressure policies, the DCSN/DCJL durability
+// formats (round trips, checked-in goldens pinning the wire bytes, torn-tail
+// tolerance) and the crash-recovery path (snapshot + journal tail replay
+// verified against the sequential oracle). The ring and group-commit tests
+// run multi-threaded so the CI TSan job checks the ordering claims, not just
+// the results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/factory.hpp"
+#include "graph/snapshot.hpp"
+#include "ingest/ingest.hpp"
+#include "query_oracle.hpp"
+#include "util/random.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace condyn {
+namespace {
+
+std::string source_path(const std::string& rel) {
+  return std::string(CONDYN_SOURCE_DIR) + "/" + rel;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Unique scratch path under gtest's per-run temp dir.
+std::string temp_path(const std::string& name) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + info->test_suite_name() + "_" +
+         info->name() + "_" + name;
+}
+
+/// Deterministic update-heavy program (adds/removes/queries).
+std::vector<Op> random_program(Vertex n, std::size_t count, uint64_t seed,
+                               int read_percent = 20) {
+  std::vector<Op> ops;
+  ops.reserve(count);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(n));
+    auto v = static_cast<Vertex>(rng.next_below(n - 1));
+    if (v >= u) ++v;
+    const auto roll = static_cast<int>(rng.next_below(100));
+    ops.push_back(roll < read_percent        ? Op::connected(u, v)
+                  : roll < read_percent + 45 ? Op::add(u, v)
+                                             : Op::remove(u, v));
+  }
+  return ops;
+}
+
+/// Full-state equality against the sequential oracle: representative per
+/// vertex (canonical smallest-id contract makes it variant-independent).
+void expect_matches_oracle(DynamicConnectivity& dc,
+                           testutil::QueryOracle& oracle, Vertex n) {
+  for (Vertex v = 0; v < n; ++v) {
+    ASSERT_EQ(dc.representative(v), oracle.apply(Op::representative(v)))
+        << "representative mismatch at vertex " << v;
+  }
+}
+
+// --- MpscRingBuffer ---------------------------------------------------------
+
+TEST(RingBuffer, RoundsCapacityUpToAPowerOfTwo) {
+  MpscRingBuffer<int> r(100);
+  EXPECT_EQ(r.capacity(), 128u);
+  MpscRingBuffer<int> one(1);
+  EXPECT_EQ(one.capacity(), 2u) << "the ring floors at two slots";
+}
+
+TEST(RingBuffer, SpscIsFifoAndBoundsAtCapacity) {
+  MpscRingBuffer<int> r(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(r.try_push(i));
+  EXPECT_FALSE(r.try_push(99)) << "push into a full ring must refuse";
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(r.try_pop(out));
+    EXPECT_EQ(out, i) << "single-producer order must be preserved";
+  }
+  EXPECT_FALSE(r.try_pop(out)) << "pop from an empty ring must refuse";
+  // The freed slots are reusable (wraparound).
+  EXPECT_TRUE(r.try_push(42));
+  ASSERT_TRUE(r.try_pop(out));
+  EXPECT_EQ(out, 42);
+}
+
+TEST(RingBuffer, PopBatchAppendsUpToMax) {
+  MpscRingBuffer<int> r(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(r.try_push(i));
+  std::vector<int> out{-1};  // pop_batch appends, never clears
+  EXPECT_EQ(r.pop_batch(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{-1, 0, 1, 2, 3}));
+  out.clear();
+  EXPECT_EQ(r.pop_batch(out, 100), 6u);
+  EXPECT_EQ(out.front(), 4);
+  EXPECT_EQ(out.back(), 9);
+  EXPECT_EQ(r.pop_batch(out, 100), 0u);
+}
+
+TEST(RingBuffer, MpscDeliversEveryItemExactlyOncePerProducerInOrder) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 20000;
+  MpscRingBuffer<uint64_t> r(256);
+  std::vector<uint64_t> got;
+  got.reserve(kProducers * kPerProducer);
+
+  std::thread consumer([&] {
+    std::vector<uint64_t> batch;
+    while (got.size() < kProducers * kPerProducer) {
+      batch.clear();
+      if (r.pop_batch(batch, 64) == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      got.insert(got.end(), batch.begin(), batch.end());
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const uint64_t item = (static_cast<uint64_t>(p) << 32) | i;
+        while (!r.try_push(item)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kProducers) * kPerProducer);
+  // Exactly once, and per-producer FIFO: within each producer's items the
+  // sequence numbers must appear in submission order.
+  std::vector<int> next(kProducers, 0);
+  for (const uint64_t item : got) {
+    const auto p = static_cast<int>(item >> 32);
+    const auto i = static_cast<int>(item & 0xffffffff);
+    ASSERT_LT(p, kProducers);
+    ASSERT_EQ(i, next[p]) << "producer " << p << " reordered or dropped";
+    ++next[p];
+  }
+}
+
+// --- group commit vs direct apply -------------------------------------------
+
+TEST(Ingest, GroupCommitMatchesDirectApplicationOnEveryVariantFamily) {
+  constexpr Vertex kN = 300;
+  const std::vector<Op> program = random_program(kN, 6000, /*seed=*/7);
+  for (const char* variant : {"coarse", "full"}) {
+    auto dc = make_variant(variant, kN);
+    {
+      ingest::IngestOptions opts;
+      opts.max_batch = 64;
+      ingest::IngestService svc(*dc, opts);
+      std::vector<std::thread> producers;
+      for (int p = 0; p < 3; ++p) {
+        producers.emplace_back([&, p] {
+          // Disjoint slices: cross-thread interleaving is arbitrary, but
+          // updates commute to the same final edge set only if each op is
+          // applied exactly once — which is what this asserts.
+          for (std::size_t i = p; i < program.size(); i += 3)
+            svc.submit(program[i]);
+        });
+      }
+      for (auto& t : producers) t.join();
+      svc.drain();
+      const ingest::IngestStats st = svc.stats();
+      EXPECT_EQ(st.submitted, program.size());
+      EXPECT_EQ(st.acked, program.size());
+      EXPECT_GT(st.batches, 0u);
+      EXPECT_LE(st.max_batch_fill, 64u);
+    }
+    // Oracle equality needs a deterministic order, so it is asserted on a
+    // second, single-producer run of the same program.
+    auto dc2 = make_variant(variant, kN);
+    {
+      ingest::IngestService svc2(*dc2, {});
+      for (const Op& op : program) svc2.submit(op);
+      svc2.drain();
+    }
+    testutil::QueryOracle oracle(kN);
+    for (const Op& op : program) oracle.apply(op);
+    expect_matches_oracle(*dc2, oracle, kN);
+    // The multi-producer run interleaves its slices arbitrarily, so its
+    // final state legitimately differs; what must hold is internal
+    // consistency: representative() is idempotent for every vertex.
+    for (Vertex v = 0; v < kN; ++v) {
+      const auto rep = static_cast<Vertex>(dc->representative(v));
+      EXPECT_EQ(dc->representative(rep), rep);
+    }
+  }
+}
+
+TEST(Ingest, TicketsCarryTheSingleOpReturnValues) {
+  auto dc = make_variant("full", 16);
+  ingest::IngestService svc(*dc, {});
+  ingest::Ticket t;
+  ASSERT_TRUE(svc.submit(Op::add(1, 2), &t));
+  EXPECT_EQ(t.wait(), ingest::Ticket::kDone);
+  EXPECT_EQ(t.value.load(), 1u) << "first add of an edge is effective";
+  t.reset();
+  ASSERT_TRUE(svc.submit(Op::add(1, 2), &t));
+  EXPECT_EQ(t.wait(), ingest::Ticket::kDone);
+  EXPECT_EQ(t.value.load(), 0u) << "duplicate add is a no-op";
+  t.reset();
+  ASSERT_TRUE(svc.submit(Op::connected(1, 2), &t));
+  EXPECT_EQ(t.wait(), ingest::Ticket::kDone);
+  EXPECT_EQ(t.value.load(), 1u);
+  t.reset();
+  ASSERT_TRUE(svc.submit(Op::component_size(1), &t));
+  EXPECT_EQ(t.wait(), ingest::Ticket::kDone);
+  EXPECT_EQ(t.value.load(), 2u);
+}
+
+// --- backpressure policies --------------------------------------------------
+
+TEST(Ingest, DropPolicyRefusesWhenTheRingIsFull) {
+  auto dc = make_variant("coarse", 16);
+  ingest::IngestOptions opts;
+  opts.ring_capacity = 4;
+  opts.policy = ingest::Backpressure::kDrop;
+  ingest::IngestService svc(*dc, opts);
+  svc.pause();  // park the applier so the ring actually fills
+  int accepted = 0, refused = 0;
+  ingest::Ticket dropped_ticket;
+  for (int i = 0; i < 16; ++i) {
+    ingest::Ticket* t = (i == 15) ? &dropped_ticket : nullptr;
+    if (svc.submit(Op::add(0, static_cast<Vertex>(1 + i % 8)), t))
+      ++accepted;
+    else
+      ++refused;
+  }
+  EXPECT_EQ(accepted, 4) << "exactly ring_capacity ops fit while parked";
+  EXPECT_EQ(refused, 12);
+  EXPECT_EQ(dropped_ticket.state.load(), ingest::Ticket::kDropped);
+  svc.resume();
+  svc.drain();
+  const ingest::IngestStats st = svc.stats();
+  EXPECT_EQ(st.submitted, 4u);
+  EXPECT_EQ(st.dropped, 12u);
+  EXPECT_EQ(st.acked, 4u);
+}
+
+TEST(Ingest, ShedReadsRefusesQueriesButCountsThemSeparately) {
+  auto dc = make_variant("coarse", 16);
+  ingest::IngestOptions opts;
+  opts.ring_capacity = 4;
+  opts.policy = ingest::Backpressure::kShedReads;
+  ingest::IngestService svc(*dc, opts);
+  svc.pause();
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(svc.submit(Op::add(0, static_cast<Vertex>(i + 1))));
+  // Ring full: reads are shed (refused, counted), never enqueued.
+  ingest::Ticket t;
+  EXPECT_FALSE(svc.submit(Op::connected(0, 1), &t));
+  EXPECT_EQ(t.state.load(), ingest::Ticket::kDropped);
+  EXPECT_FALSE(svc.submit(Op::component_size(2)));
+  svc.resume();
+  svc.drain();
+  const ingest::IngestStats st = svc.stats();
+  EXPECT_EQ(st.shed_reads, 2u);
+  EXPECT_EQ(st.dropped, 0u) << "shed reads are not kDrop drops";
+  EXPECT_EQ(st.acked, 4u);
+  // With space available again, reads pass.
+  ASSERT_TRUE(svc.submit(Op::connected(0, 1)));
+  svc.drain();
+}
+
+// --- durability formats -----------------------------------------------------
+
+TEST(Snapshot, RoundTripsThroughStreams) {
+  std::vector<Edge> live = {{3, 7}, {0, 1}, {5, 2}, {0, 9}};
+  const io::Snapshot s = io::make_snapshot(123, 12, live);
+  EXPECT_EQ(s.edges.ops.size(), live.size());
+  // make_snapshot sorts: equal edge sets -> byte-identical snapshots.
+  EXPECT_TRUE(std::is_sorted(
+      s.edges.ops.begin(), s.edges.ops.end(), [](const Op& a, const Op& b) {
+        return std::pair(a.u, a.v) < std::pair(b.u, b.v);
+      }));
+  std::stringstream ss;
+  io::save_snapshot(s, ss);
+  EXPECT_EQ(io::load_snapshot(ss), s);
+}
+
+TEST(Snapshot, RejectsNonAddOpsAtWriteTimeAndBadHeadersAtReadTime) {
+  io::Snapshot s;
+  s.edges.num_vertices = 4;
+  s.edges.ops.push_back(Op::remove(0, 1));
+  std::stringstream out;
+  EXPECT_THROW(io::save_snapshot(s, out), std::runtime_error);
+
+  const io::Snapshot good = io::make_snapshot(1, 4, {{0, 1}});
+  std::stringstream ok;
+  io::save_snapshot(good, ok);
+  std::string bytes = ok.str();
+  {
+    std::string bad = bytes;
+    bad[0] = 'X';  // magic
+    std::istringstream in(bad);
+    EXPECT_THROW(io::load_snapshot(in), std::runtime_error);
+  }
+  {
+    std::string bad = bytes;
+    bad[4] = 99;  // version
+    std::istringstream in(bad);
+    EXPECT_THROW(io::load_snapshot(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(bytes.substr(0, 10));  // short header
+    EXPECT_THROW(io::load_snapshot(in), std::runtime_error);
+  }
+}
+
+std::string journal_bytes(Vertex n,
+                          const std::vector<io::JournalRecord>& records) {
+  std::ostringstream out;
+  io::write_journal_header(out, n);
+  for (const auto& r : records) io::write_journal_record(out, r.seq, r.op);
+  return out.str();
+}
+
+std::vector<io::JournalRecord> sample_records() {
+  return {{1, Op::add(0, 1)},  {2, Op::add(1, 2)}, {3, Op::add(2, 3)},
+          {4, Op::remove(1, 2)}, {5, Op::add(3, 4)}};
+}
+
+TEST(Journal, RoundTripsAndIsTolerantOfEveryTornTailShape) {
+  const auto records = sample_records();
+  const std::string bytes = journal_bytes(8, records);
+  ASSERT_EQ(bytes.size(),
+            io::kJournalHeaderBytes + records.size() * io::kJournalRecordBytes);
+  {
+    std::istringstream in(bytes);
+    const io::JournalData j = io::load_journal(in);
+    EXPECT_EQ(j.num_vertices, 8u);
+    EXPECT_EQ(j.records, records);
+    EXPECT_FALSE(j.truncated_tail);
+    EXPECT_EQ(j.tail_bytes, 0u);
+  }
+  // Truncation mid-record: keep the good prefix, report the torn bytes.
+  {
+    std::istringstream in(bytes.substr(0, bytes.size() - 7));
+    const io::JournalData j = io::load_journal(in);
+    EXPECT_EQ(j.records.size(), records.size() - 1);
+    EXPECT_TRUE(j.truncated_tail);
+    EXPECT_EQ(j.tail_bytes, io::kJournalRecordBytes - 7);
+  }
+  // Bad CRC in the middle: the stream ends at the last good record — WAL
+  // semantics never resynchronize past corruption.
+  {
+    std::string bad = bytes;
+    bad[io::kJournalHeaderBytes + 2 * io::kJournalRecordBytes + 3] ^= 0x40;
+    std::istringstream in(bad);
+    const io::JournalData j = io::load_journal(in);
+    EXPECT_EQ(j.records.size(), 2u);
+    EXPECT_TRUE(j.truncated_tail);
+  }
+  // Non-increasing seq ends the stream (a record from a previous
+  // generation of the file, e.g. after a partial overwrite).
+  {
+    auto dup = records;
+    dup.push_back({5, Op::add(4, 5)});  // same seq as the previous record
+    std::istringstream in(journal_bytes(8, dup));
+    const io::JournalData j = io::load_journal(in);
+    EXPECT_EQ(j.records.size(), records.size());
+    EXPECT_TRUE(j.truncated_tail);
+  }
+  // Vertex outside the declared universe fails the record, not the file.
+  {
+    auto bad = records;
+    bad.push_back({6, Op::add(3, 250)});
+    std::istringstream in(journal_bytes(8, bad));
+    const io::JournalData j = io::load_journal(in);
+    EXPECT_EQ(j.records.size(), records.size());
+    EXPECT_TRUE(j.truncated_tail);
+  }
+}
+
+TEST(Journal, HeaderIsStrict) {
+  const std::string bytes = journal_bytes(8, sample_records());
+  {
+    std::string bad = bytes;
+    bad[1] = 'X';
+    std::istringstream in(bad);
+    EXPECT_THROW(io::load_journal(in), std::runtime_error);
+  }
+  {
+    std::string bad = bytes;
+    bad[4] = 9;  // version
+    std::istringstream in(bad);
+    EXPECT_THROW(io::load_journal(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(bytes.substr(0, io::kJournalHeaderBytes - 1));
+    EXPECT_THROW(io::load_journal(in), std::runtime_error);
+  }
+  // A missing *file* is an empty journal, not an error (fresh service).
+  const io::JournalData j = io::load_journal_file(temp_path("absent.dcjl"));
+  EXPECT_TRUE(j.records.empty());
+  EXPECT_FALSE(j.truncated_tail);
+}
+
+// --- golden fixtures: the durability wire formats are pinned ----------------
+//
+// Regenerating either file is a format break: recovery of pre-change
+// snapshots/journals must keep working, so changes belong in a new version,
+// not a silent rewrite (same rule as the golden traces in test_trace_v2).
+
+io::Snapshot golden_snapshot() {
+  return io::make_snapshot(
+      77, 24, {{0, 1}, {0, 2}, {1, 3}, {4, 5}, {6, 7}, {2, 9}, {10, 11}});
+}
+
+std::vector<io::JournalRecord> golden_journal_records() {
+  return {{1, Op::add(0, 1)},    {2, Op::add(1, 2)},  {3, Op::add(2, 3)},
+          {4, Op::remove(1, 2)}, {5, Op::add(4, 5)},  {6, Op::add(5, 6)},
+          {7, Op::remove(0, 1)}, {8, Op::add(7, 8)},  {9, Op::add(0, 3)},
+          {10, Op::remove(4, 5)}};
+}
+
+TEST(GoldenIngest, SnapshotDecodesToThePinnedStateAndBytes) {
+  const std::string path = source_path("tests/data/golden.dcsn");
+  const io::Snapshot s = io::load_snapshot_file(path);
+  EXPECT_EQ(s, golden_snapshot());
+  std::ostringstream out;
+  io::save_snapshot(golden_snapshot(), out);
+  EXPECT_EQ(out.str(), file_bytes(path))
+      << "snapshot writer no longer reproduces the checked-in bytes";
+}
+
+TEST(GoldenIngest, JournalDecodesToThePinnedRecordsAndBytes) {
+  const std::string path = source_path("tests/data/golden.dcjl");
+  const std::string pinned = file_bytes(path);
+  std::istringstream in(pinned);
+  const io::JournalData j = io::load_journal(in);
+  EXPECT_EQ(j.num_vertices, 24u);
+  EXPECT_EQ(j.records, golden_journal_records());
+  EXPECT_FALSE(j.truncated_tail);
+  EXPECT_EQ(journal_bytes(24, golden_journal_records()), pinned)
+      << "journal writer no longer reproduces the checked-in bytes";
+}
+
+// --- recovery ---------------------------------------------------------------
+
+TEST(Ingest, JournalOnlyRecoveryMatchesTheOracle) {
+  constexpr Vertex kN = 64;
+  const std::string journal = temp_path("journal.dcjl");
+  const std::vector<Op> program = random_program(kN, 2000, /*seed=*/11);
+  testutil::QueryOracle oracle(kN);
+  {
+    auto dc = make_variant("full", kN);
+    ingest::IngestOptions opts;
+    opts.journal_path = journal;
+    opts.journal_fsync = false;  // keep the test fast; ordering is the same
+    ingest::IngestService svc(*dc, opts);
+    for (const Op& op : program) svc.submit(op);
+    svc.stop();
+    const ingest::IngestStats st = svc.stats();
+    const auto updates = static_cast<uint64_t>(std::count_if(
+        program.begin(), program.end(),
+        [](const Op& op) { return is_update(op.kind); }));
+    EXPECT_EQ(st.journal_records, updates)
+        << "every update (effective or not) gets a journal record";
+    EXPECT_EQ(st.applied_seq, updates);
+  }
+  for (const Op& op : program) oracle.apply(op);
+
+  auto recovered = make_variant("full", kN);
+  const ingest::RecoveryResult r =
+      ingest::recover_files(*recovered, /*snapshot_path=*/"", journal);
+  EXPECT_EQ(r.snapshot_edges, 0u);
+  EXPECT_EQ(r.journal_records, r.replayed);
+  EXPECT_FALSE(r.truncated_tail);
+  expect_matches_oracle(*recovered, oracle, kN);
+  // The recovered live set is exactly the oracle's present set.
+  std::vector<Edge> expect_live(oracle.present().begin(),
+                                oracle.present().end());
+  EXPECT_EQ(r.live_edges, expect_live);
+  std::remove(journal.c_str());
+}
+
+TEST(Ingest, SnapshotPlusJournalTailRecoversAndReattachContinuesSeq) {
+  constexpr Vertex kN = 64;
+  const std::string journal = temp_path("journal.dcjl");
+  const std::string snapshot = temp_path("snapshot.dcsn");
+  const std::vector<Op> first = random_program(kN, 1500, /*seed=*/21);
+  const std::vector<Op> second = random_program(kN, 500, /*seed=*/22);
+  testutil::QueryOracle oracle(kN);
+
+  uint64_t snap_seq = 0;
+  {
+    auto dc = make_variant("full", kN);
+    ingest::IngestOptions opts;
+    opts.journal_path = journal;
+    opts.journal_fsync = false;
+    ingest::IngestService svc(*dc, opts);
+    for (const Op& op : first) svc.submit(op);
+    svc.drain();
+    snap_seq = svc.snapshot_to(snapshot);
+    for (const Op& op : second) svc.submit(op);
+    svc.stop();
+    EXPECT_EQ(svc.stats().snapshots, 1u);
+  }
+  for (const Op& op : first) oracle.apply(op);
+  for (const Op& op : second) oracle.apply(op);
+
+  // Recover: snapshot state + only the journal records past applied_seq.
+  auto recovered = make_variant("full", kN);
+  const ingest::RecoveryResult r =
+      ingest::recover_files(*recovered, snapshot, journal);
+  EXPECT_EQ(r.applied_seq >= snap_seq, true);
+  EXPECT_LT(r.replayed, r.journal_records)
+      << "the snapshot must subsume the journal prefix";
+  expect_matches_oracle(*recovered, oracle, kN);
+
+  // Reattach a service to the recovered structure + the same journal: seq
+  // continues (no reuse), and the combined history still recovers.
+  const std::vector<Op> third = random_program(kN, 300, /*seed=*/23);
+  {
+    ingest::IngestOptions opts;
+    opts.journal_path = journal;
+    opts.journal_fsync = false;
+    opts.initial_edges = r.live_edges;
+    ingest::IngestService svc(*recovered, opts);
+    for (const Op& op : third) svc.submit(op);
+    svc.stop();
+    EXPECT_GT(svc.stats().applied_seq, r.applied_seq);
+  }
+  for (const Op& op : third) oracle.apply(op);
+  auto recovered2 = make_variant("full", kN);
+  ingest::recover_files(*recovered2, snapshot, journal);
+  expect_matches_oracle(*recovered2, oracle, kN);
+  std::remove(journal.c_str());
+  std::remove(snapshot.c_str());
+}
+
+TEST(Ingest, RecoveryToleratesATornJournalTailOnDisk) {
+  constexpr Vertex kN = 32;
+  const std::string journal = temp_path("torn.dcjl");
+  {
+    std::ofstream out(journal, std::ios::binary);
+    const std::string bytes = journal_bytes(kN, sample_records());
+    // Crash mid-append: the last record is half-written.
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 9));
+  }
+  auto dc = make_variant("full", kN);
+  const ingest::RecoveryResult r = ingest::recover_files(*dc, "", journal);
+  EXPECT_TRUE(r.truncated_tail);
+  EXPECT_EQ(r.journal_records, sample_records().size() - 1);
+  testutil::QueryOracle oracle(kN);
+  for (std::size_t i = 0; i + 1 < sample_records().size(); ++i)
+    oracle.apply(sample_records()[i].op);
+  expect_matches_oracle(*dc, oracle, kN);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace condyn

@@ -21,6 +21,11 @@
 //                                                 [--size-queries] [--seed S]
 //       re-encode a trace between versions; without --reads ops are
 //       preserved exactly, with it reads are synthesized as in convert
+//   trace_convert snapshot <snap.dcsn> [out.dctr]
+//       inspect a DCSN ingest snapshot (DESIGN.md §11.3): applied_seq,
+//       vertex count and live-edge count; with out.dctr, extract the
+//       embedded live-edge trace as a standalone DCTR file — a crash
+//       snapshot becomes a prefill/replay workload for any scenario
 //
 // Output format: v1 with --v1 (rejected if the trace holds value queries),
 // otherwise v2 — upgraded automatically to v3 when the trace contains
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "graph/io.hpp"
+#include "graph/snapshot.hpp"
 
 namespace {
 
@@ -47,7 +53,8 @@ int usage() {
       "         [--size-queries] [--seed S] [--v1]\n"
       "       trace_convert info <trace.dctr>\n"
       "       trace_convert recompress <in.dctr> <out.dctr> [--v1]\n"
-      "         [--reads P] [--size-queries] [--seed S]\n");
+      "         [--reads P] [--size-queries] [--seed S]\n"
+      "       trace_convert snapshot <snap.dcsn> [out.dctr]\n");
   return 2;
 }
 
@@ -146,6 +153,22 @@ int run(int argc, char** argv) {
     std::printf("recompressed %zu ops: %s -> %s\n", t.ops.size(),
                 args[0].c_str(), args[1].c_str());
     print_info(args[1]);
+    return 0;
+  }
+
+  if (cmd == "snapshot") {
+    if (args.empty() || args.size() > 2) return usage();
+    const io::Snapshot s = io::load_snapshot_file(args[0]);
+    std::printf("snapshot: %s\n", args[0].c_str());
+    std::printf("  applied_seq:  %llu\n",
+                static_cast<unsigned long long>(s.applied_seq));
+    std::printf("  vertices:     %u\n", s.edges.num_vertices);
+    std::printf("  live edges:   %zu\n", s.edges.ops.size());
+    if (args.size() == 2) {
+      io::save_trace_file(s.edges, args[1], io::preferred_format(s.edges));
+      std::printf("extracted live-edge trace -> %s\n", args[1].c_str());
+      print_info(args[1]);
+    }
     return 0;
   }
 
