@@ -1,5 +1,8 @@
 #include "graph/snapshot.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -82,13 +85,44 @@ void save_snapshot_file(const Snapshot& s, const std::string& path) {
   if (!f) fail("write failed: " + path);
 }
 
+namespace {
+
+/// fsync a path's bytes down to disk. The stream writer above only flushes
+/// to the page cache; without this the rename below can publish a name
+/// whose *data* is lost in a power cut.
+void sync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot reopen " + path + " for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail("fsync " + path + " failed");
+}
+
+/// fsync the directory entry after a rename so the new name itself survives
+/// a crash. Best-effort: some filesystems refuse directory fsync, and the
+/// file's data is already durable by this point.
+void sync_dir_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
 void save_snapshot_file_atomic(const Snapshot& s, const std::string& path) {
   const std::string tmp = path + ".tmp";
   save_snapshot_file(s, tmp);
+  sync_file(tmp);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     fail("rename " + tmp + " -> " + path + " failed");
   }
+  sync_dir_of(path);
 }
 
 Snapshot load_snapshot(std::istream& in) {

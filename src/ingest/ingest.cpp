@@ -58,6 +58,7 @@ IngestService::IngestService(DynamicConnectivity& dc, IngestOptions opts)
     : dc_(dc), opts_(std::move(opts)), ring_(opts_.ring_capacity) {
   for (const Edge& e : opts_.initial_edges) live_edges_.insert(e.key());
   open_journal();
+  applier_running_ = true;
   applier_ = std::thread([this] { applier_main(); });
 }
 
@@ -96,9 +97,14 @@ void IngestService::open_journal() {
     if (journal_ != nullptr) {
       char header[io::kJournalHeaderBytes];
       io::encode_journal_header(header, dc_.num_vertices());
-      std::fwrite(header, 1, sizeof header, journal_);
-      std::fflush(journal_);
-      if (opts_.journal_fsync) ::fsync(fileno(journal_));
+      if (std::fwrite(header, 1, sizeof header, journal_) != sizeof header ||
+          std::fflush(journal_) != 0 ||
+          (opts_.journal_fsync && ::fsync(fileno(journal_)) != 0)) {
+        std::fclose(journal_);
+        journal_ = nullptr;
+        throw std::runtime_error("ingest: cannot write journal header to " +
+                                 path);
+      }
     }
   }
   if (journal_ == nullptr) {
@@ -107,6 +113,29 @@ void IngestService::open_journal() {
 }
 
 bool IngestService::submit(const Op& op, Ticket* ticket) {
+  // In-flight guard for stop(): a submit past the entry stop_ check may
+  // still push into the ring, so shutdown keeps draining until every
+  // in-flight call has returned — no op or ticket is ever stranded.
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  const bool accepted = submit_impl(op, ticket);
+  inflight_.fetch_sub(1, std::memory_order_release);
+  return accepted;
+}
+
+bool IngestService::submit_impl(const Op& op, Ticket* ticket) {
+  // Counted before the push so drain() can never observe acked_ overtaking
+  // submitted_ and return while this op is still in the ring; un-counted on
+  // every refusal path below.
+  submitted_.fetch_add(1, std::memory_order_release);
+  const auto refuse = [&](std::atomic<uint64_t>& counter) {
+    submitted_.fetch_sub(1, std::memory_order_release);
+    counter.fetch_add(1, std::memory_order_relaxed);
+    if (ticket != nullptr) {
+      ticket->state.store(Ticket::kDropped, std::memory_order_release);
+    }
+    return false;
+  };
+  if (stop_.load(std::memory_order_acquire)) return refuse(dropped_);
   Req r{op, ticket,
         opts_.record_sojourn ? lock_stats::now_ns() : uint64_t{0}};
   if (!ring_.try_push(r)) {
@@ -114,23 +143,17 @@ bool IngestService::submit(const Op& op, Ticket* ticket) {
         opts_.policy == Backpressure::kDrop ||
         (opts_.policy == Backpressure::kShedReads && is_query(op.kind));
     if (shed_this) {
-      if (opts_.policy == Backpressure::kDrop) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        shed_reads_.fetch_add(1, std::memory_order_relaxed);
-      }
-      if (ticket != nullptr) {
-        ticket->state.store(Ticket::kDropped, std::memory_order_release);
-      }
-      return false;
+      return refuse(opts_.policy == Backpressure::kDrop ? dropped_
+                                                        : shed_reads_);
     }
     // kBlock (and kShedReads updates): closed-loop degradation — wait for
-    // the applier to free a slot.
+    // the applier to free a slot. A stop() in the meantime would leave the
+    // applier gone and this loop spinning forever, so it refuses instead.
     for (int spins = 0; !ring_.try_push(r); ++spins) {
+      if (stop_.load(std::memory_order_acquire)) return refuse(dropped_);
       if (spins > 64) std::this_thread::yield();
     }
   }
-  submitted_.fetch_add(1, std::memory_order_release);
   return true;
 }
 
@@ -143,12 +166,46 @@ void IngestService::drain() {
 
 void IngestService::stop() {
   if (!applier_.joinable()) return;
-  resume();  // a paused applier would never see stop_
   stop_.store(true, std::memory_order_release);
+  {
+    // An applier between its park check and park_cv_.wait would miss a bare
+    // notify; taking the lock orders the store before its predicate check.
+    std::lock_guard lk(park_mu_);
+  }
+  park_cv_.notify_all();
   applier_.join();
+  // A producer that pushed between the applier's final drain and its exit
+  // (or while it was parked) left ops behind; they were never applied, so
+  // drop them — tickets terminate, and submitted_ is un-counted so drain()
+  // does too. Loop until no submit is in flight: one that already passed
+  // its stop_ check can still push into a slot this very drain frees, so a
+  // single pass could strand it. Reading inflight_ *before* draining makes
+  // the exit sound — every push by an exited submit is visible to the final
+  // pop_batch pass.
+  std::vector<Req> leftovers;
+  for (;;) {
+    const bool quiesced = inflight_.load(std::memory_order_acquire) == 0;
+    while (ring_.pop_batch(leftovers, opts_.max_batch) > 0) {
+      for (const Req& r : leftovers) {
+        if (r.ticket != nullptr) {
+          r.ticket->state.store(Ticket::kDropped, std::memory_order_release);
+        }
+      }
+      dropped_.fetch_add(leftovers.size(), std::memory_order_relaxed);
+      submitted_.fetch_sub(leftovers.size(), std::memory_order_release);
+      leftovers.clear();
+    }
+    if (quiesced) break;
+    std::this_thread::yield();
+  }
   if (journal_ != nullptr) {
-    std::fflush(journal_);
-    if (opts_.journal_fsync) ::fsync(fileno(journal_));
+    if (std::fflush(journal_) != 0 ||
+        (opts_.journal_fsync && ::fsync(fileno(journal_)) != 0)) {
+      // Every acked batch was already flushed (and fsynced) by apply_group,
+      // so this is only the close-out of an already-failed stream; stop()
+      // runs on the destructor path and must not throw.
+      journal_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
     std::fclose(journal_);
     journal_ = nullptr;
   }
@@ -156,19 +213,23 @@ void IngestService::stop() {
 
 void IngestService::pause() {
   std::unique_lock lk(park_mu_);
-  pause_requested_ = true;
-  park_cv_.wait(lk, [&] { return parked_ || !applier_.joinable(); });
+  ++pause_depth_;
+  park_cv_.wait(lk, [&] { return parked_ || !applier_running_; });
 }
 
 void IngestService::resume() {
   {
     std::lock_guard lk(park_mu_);
-    pause_requested_ = false;
+    if (pause_depth_ > 0) --pause_depth_;
   }
   park_cv_.notify_all();
 }
 
 uint64_t IngestService::snapshot_to(const std::string& path) {
+  // Serialized: two concurrent callers would otherwise race on the same
+  // tmp file, and one's resume() would unpark the applier while the other
+  // is still reading live_edges_.
+  std::lock_guard snap_lk(snapshot_mu_);
   if (applier_.joinable()) {
     pause();  // parked at a batch boundary: nothing is in flight
     write_snapshot_locked(path);
@@ -201,11 +262,19 @@ void IngestService::applier_main() {
   for (;;) {
     {
       std::unique_lock lk(park_mu_);
-      if (pause_requested_) {
+      if (pause_depth_ > 0) {
         parked_ = true;
         park_cv_.notify_all();
-        park_cv_.wait(lk, [&] { return !pause_requested_; });
+        park_cv_.wait(lk, [&] {
+          return pause_depth_ == 0 || stop_.load(std::memory_order_acquire);
+        });
         parked_ = false;
+        if (pause_depth_ > 0) {
+          // stop() raced an active pauser (who may be mid-read of
+          // live_edges_): exit without touching anything further; stop()
+          // drops whatever is left in the ring.
+          break;
+        }
       }
     }
     reqs.clear();
@@ -228,36 +297,54 @@ void IngestService::applier_main() {
       write_snapshot_locked(opts_.snapshot_path);
     }
   }
+  {
+    // Unblock any pause() still waiting for parked_: the applier is gone,
+    // which is as parked as it gets.
+    std::lock_guard lk(park_mu_);
+    applier_running_ = false;
+  }
+  park_cv_.notify_all();
 }
 
 void IngestService::apply_group(std::vector<Req>& reqs) {
-  ops_scratch_.clear();
-  for (const Req& r : reqs) ops_scratch_.push_back(r.op);
-  const BatchResult res = dc_.apply_batch(ops_scratch_);
-
-  // Group commit: one journal append (and at most one fsync) covers every
-  // update in the batch, *before* any ticket is acknowledged — an acked
-  // update is a durable update.
+  // Group commit, write-ahead: one journal append (and at most one fsync)
+  // covers every update in the batch, persisted *before* the batch is
+  // applied or any ticket acknowledged — an acked update is a durable
+  // update, and a failed append (ENOSPC, EIO) fails the batch without
+  // letting in-memory state run ahead of the log. A crash between the
+  // append and the apply only means recovery replays ops that were never
+  // acked, which the redo-log contract allows.
   uint64_t updates = 0;
-  if (journal_ != nullptr) {
+  if (journal_ != nullptr && !journal_broken_) {
     journal_buf_.clear();
     char rec[io::kJournalRecordBytes];
+    uint64_t next_seq = seq_;
     for (const Req& r : reqs) {
       if (!is_update(r.op.kind)) continue;
-      io::encode_journal_record(rec, ++seq_, r.op);
+      io::encode_journal_record(rec, ++next_seq, r.op);
       journal_buf_.insert(journal_buf_.end(), rec, rec + sizeof rec);
       ++updates;
     }
     if (!journal_buf_.empty()) {
-      std::fwrite(journal_buf_.data(), 1, journal_buf_.size(), journal_);
-      std::fflush(journal_);
-      if (opts_.journal_fsync) {
-        ::fsync(fileno(journal_));
+      bool ok = std::fwrite(journal_buf_.data(), 1, journal_buf_.size(),
+                            journal_) == journal_buf_.size() &&
+                std::fflush(journal_) == 0;
+      if (ok && opts_.journal_fsync) {
+        ok = ::fsync(fileno(journal_)) == 0;
         fsyncs_.fetch_add(1, std::memory_order_relaxed);
       }
-      journal_records_.fetch_add(updates, std::memory_order_relaxed);
+      if (!ok) {
+        // Sticky fail-stop: the file position and on-disk tail are now
+        // unknown, so no later append can be trusted either. The torn tail
+        // (if any) is exactly what the tolerant loader chops on recovery.
+        journal_broken_ = true;
+        journal_errors_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        journal_records_.fetch_add(updates, std::memory_order_relaxed);
+        seq_ = next_seq;
+      }
     }
-  } else {
+  } else if (journal_ == nullptr) {
     for (const Req& r : reqs) {
       if (is_update(r.op.kind)) {
         ++seq_;
@@ -265,6 +352,20 @@ void IngestService::apply_group(std::vector<Req>& reqs) {
       }
     }
   }
+  if (journal_broken_) {
+    for (const Req& r : reqs) {
+      if (r.ticket != nullptr) {
+        r.ticket->state.store(Ticket::kFailed, std::memory_order_release);
+      }
+    }
+    failed_.fetch_add(reqs.size(), std::memory_order_relaxed);
+    acked_.fetch_add(reqs.size(), std::memory_order_release);
+    return;
+  }
+
+  ops_scratch_.clear();
+  for (const Req& r : reqs) ops_scratch_.push_back(r.op);
+  const BatchResult res = dc_.apply_batch(ops_scratch_);
 
   // Live-edge bookkeeping: only *effective* updates change the set (a
   // duplicate add / absent remove reports value 0 from apply_batch).
@@ -308,10 +409,12 @@ IngestStats IngestService::stats() const {
   s.acked = acked_.load(std::memory_order_acquire);
   s.dropped = dropped_.load(std::memory_order_relaxed);
   s.shed_reads = shed_reads_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.max_batch_fill = max_batch_fill_.load(std::memory_order_relaxed);
   s.journal_records = journal_records_.load(std::memory_order_relaxed);
   s.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  s.journal_errors = journal_errors_.load(std::memory_order_relaxed);
   s.snapshots = snapshots_.load(std::memory_order_relaxed);
   s.applied_seq = applied_seq_.load(std::memory_order_relaxed);
   return s;

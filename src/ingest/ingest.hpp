@@ -63,16 +63,18 @@ IngestOptions env_options();
 /// Completion token a producer may attach to a submitted op: the applier
 /// stores the op's raw value and flips `state` *after* the group commit's
 /// journal write (and fsync, when enabled) — an acknowledged update is a
-/// durable update. Caller-owned; must outlive the op's application (stack
-/// allocation + wait() is the intended pattern).
+/// durable update. kFailed means the journal append itself failed (ENOSPC,
+/// EIO): the op was neither persisted nor applied, and the service is
+/// fail-stopped (every later op also fails). Caller-owned; must outlive the
+/// op's application (stack allocation + wait() is the intended pattern).
 struct Ticket {
-  enum State : uint32_t { kPending = 0, kDone = 1, kDropped = 2 };
+  enum State : uint32_t { kPending = 0, kDone = 1, kDropped = 2, kFailed = 3 };
 
   std::atomic<uint32_t> state{kPending};
   std::atomic<uint64_t> value{0};
 
-  /// Spin-then-yield until the op is applied (or dropped). Returns the
-  /// final state (kDone or kDropped).
+  /// Spin-then-yield until the op reaches a final state. Returns that state
+  /// (kDone, kDropped, or kFailed).
   uint32_t wait() const noexcept {
     uint32_t s;
     for (int spins = 0; (s = state.load(std::memory_order_acquire)) == kPending;
@@ -91,13 +93,18 @@ struct Ticket {
 /// while running, exact after stop()/drain()).
 struct IngestStats {
   uint64_t submitted = 0;     ///< ops accepted into the ring
-  uint64_t acked = 0;         ///< ops applied (and journaled) by the applier
-  uint64_t dropped = 0;       ///< refused by the kDrop policy
+  /// Ops the applier completed: applied + journaled (kDone), or refused
+  /// with kFailed after a journal error. drain() waits for acked ==
+  /// submitted, so both outcomes count.
+  uint64_t acked = 0;
+  uint64_t dropped = 0;       ///< refused by kDrop (or dropped at stop())
   uint64_t shed_reads = 0;    ///< queries refused by kShedReads
+  uint64_t failed = 0;        ///< ops refused with kFailed (journal error)
   uint64_t batches = 0;       ///< group commits (apply_batch calls)
   uint64_t max_batch_fill = 0;  ///< largest single drain
   uint64_t journal_records = 0;
   uint64_t fsyncs = 0;
+  uint64_t journal_errors = 0;  ///< failed journal appends/flushes
   uint64_t snapshots = 0;
   uint64_t applied_seq = 0;   ///< journal seq of the last applied update
 };
@@ -120,25 +127,34 @@ class IngestService {
   IngestService& operator=(const IngestService&) = delete;
 
   /// Submit one op. `ticket` (optional) is completed when the op is applied.
-  /// Returns false when the op was refused under kDrop/kShedReads — the op
-  /// was *not* enqueued and the ticket (if any) is marked kDropped.
+  /// Returns false when the op was refused — kDrop/kShedReads with a full
+  /// ring, or a stop() already in progress — in which case the op was *not*
+  /// enqueued and the ticket (if any) is marked kDropped.
   bool submit(const Op& op, Ticket* ticket = nullptr);
 
-  /// Block until every op accepted so far has been applied and acknowledged.
+  /// Block until every op accepted so far has reached a final state (kDone,
+  /// or kFailed after a journal error).
   void drain();
 
-  /// Drain, flush, and join the applier. Idempotent; the destructor calls it.
+  /// Drain, flush, and join the applier. A submit() blocked on a full ring
+  /// returns false (ticket kDropped) instead of waiting forever, and any op
+  /// still in the ring after the applier exits is dropped the same way.
+  /// For exactly-once accounting, join producers before calling stop(): a
+  /// submit racing the shutdown may be refused. Idempotent; the destructor
+  /// calls it.
   void stop();
 
   /// Park the applier at the next batch boundary (returns once parked; the
-  /// ring keeps accepting ops, they just wait). resume() restarts draining.
+  /// ring keeps accepting ops, they just wait). Refcounted: the applier
+  /// resumes draining when every pause() has been matched by a resume().
   void pause();
   void resume();
 
-  /// Write a point-in-time snapshot of the live edge set (atomic tmp+rename)
-  /// and return the applied_seq it captures. Safe to call from any thread:
-  /// the applier is parked at a batch boundary for the duration, so the
-  /// snapshot is exactly "every acknowledged update, nothing in flight".
+  /// Write a point-in-time snapshot of the live edge set (atomic tmp+rename,
+  /// fsynced) and return the applied_seq it captures. Safe to call from any
+  /// thread and serialized against other snapshot_to calls: the applier is
+  /// parked at a batch boundary for the duration, so the snapshot is exactly
+  /// "every acknowledged update, nothing in flight".
   uint64_t snapshot_to(const std::string& path);
 
   IngestStats stats() const;
@@ -155,6 +171,7 @@ class IngestService {
     uint64_t t_enqueue_ns = 0;
   };
 
+  bool submit_impl(const Op& op, Ticket* ticket);
   void applier_main();
   void apply_group(std::vector<Req>& reqs);
   void write_snapshot_locked(const std::string& path);
@@ -168,13 +185,16 @@ class IngestService {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> shed_reads_{0};
+  std::atomic<uint64_t> inflight_{0};  ///< submit() calls currently running
   // Applier-side counters: written only by the applier thread, read via
   // stats() — atomics with relaxed ordering keep that race benign.
   std::atomic<uint64_t> acked_{0};
+  std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> max_batch_fill_{0};
   std::atomic<uint64_t> journal_records_{0};
   std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> journal_errors_{0};
   std::atomic<uint64_t> snapshots_{0};
   std::atomic<uint64_t> applied_seq_{0};
 
@@ -185,14 +205,18 @@ class IngestService {
   uint64_t applied_updates_ = 0;             ///< drives snapshot_every
   uint64_t last_snapshot_updates_ = 0;
   std::FILE* journal_ = nullptr;
+  bool journal_broken_ = false;  ///< sticky: a journal append failed
   std::vector<char> journal_buf_;
   std::vector<Op> ops_scratch_;
 
   std::mutex park_mu_;
   std::condition_variable park_cv_;
-  bool pause_requested_ = false;
+  int pause_depth_ = 0;          ///< outstanding pause() calls (refcount)
   bool parked_ = false;
+  bool applier_running_ = false;  ///< cleared by the applier on exit
   std::atomic<bool> stop_{false};
+
+  std::mutex snapshot_mu_;  ///< serializes snapshot_to callers
 
   std::mutex sojourn_mu_;
   std::vector<uint32_t> sojourn_ns_;
