@@ -6,7 +6,9 @@
 # (concurrency suites + dependency-preserving replay under -fsanitize=thread).
 # CHECK_RECOVERY=1 mirrors the CI crash-recovery job: SIGKILL the ingest
 # service mid-stream at a randomized point, restart, recover, and verify the
-# recovered graph against the DSU oracle.
+# recovered graph against the DSU oracle. CHECK_SERVE=1 mirrors the CI
+# serve-smoke job: condyn_server + open-loop loadgen trace replay, asserting
+# a healthy serve JSON record, overload shedding, and a clean SIGTERM drain.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -116,10 +118,10 @@ if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   cmake --build build-tsan -j "$jobs" \
     --target test_concurrent test_nb_hdt test_scenarios test_replay_dep \
              test_query_api test_label_cache test_batch test_pbd test_sharded \
-             test_ingest
+             test_ingest test_server
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
     --output-on-failure -j 2 \
-    -R 'test_concurrent|test_nb_hdt|test_scenarios|test_replay_dep|test_query_api|test_label_cache|test_batch|test_pbd|test_sharded|test_ingest'
+    -R 'test_concurrent|test_nb_hdt|test_scenarios|test_replay_dep|test_query_api|test_label_cache|test_batch|test_pbd|test_sharded|test_ingest|test_server'
 fi
 
 # Optional mirror of the CI crash-recovery job: kill -9 the serving process
@@ -142,6 +144,55 @@ if [[ "${CHECK_RECOVERY:-0}" == "1" ]]; then
     grep -q "verified: recovered graph matches DSU oracle" "$recover_out"
   done
   rm -rf "$recovery_dir" "$recover_out"
+fi
+
+# Optional mirror of the CI serve-smoke job: replay a frozen DCTR trace
+# open-loop against condyn_server, assert the serve JSON record, then drive
+# an fsync-throttled server past capacity and require shedding (ops_shed >
+# 0, ops_failed == 0) instead of collapse. SIGTERM must drain to exit 0.
+if [[ "${CHECK_SERVE:-0}" == "1" ]]; then
+  serve_dir="$(mktemp -d /tmp/check-serve.XXXXXX)"
+  ./build/loadgen --make-trace "$serve_dir/serve.dctr" --vertices 4096 \
+    --ops 200000 --seed "${CHECK_SERVE_SEED:-$$}"
+  DC_SERVER_PORT=18431 DC_SERVER_VERTICES=4096 \
+    ./build/condyn_server > "$serve_dir/server.log" &
+  server_pid=$!
+  for _ in $(seq 50); do
+    grep -q "listening" "$serve_dir/server.log" && break; sleep 0.2
+  done
+  ./build/loadgen --port 18431 --trace "$serve_dir/serve.dctr" \
+    --rate 5000 --connections 8 --duration 5 --batch 8 --processes 2 \
+    --json "$serve_dir/serve.json"
+  python3 -c "
+import json
+rec = json.load(open('$serve_dir/serve.json'))['results'][0]
+assert rec['section'] == 'serve' and rec['achieved_rate'] > 0, rec
+assert rec['ops_failed'] == 0 and 0 < rec['latency_us_p999'] < 60e6, rec
+print('serve ok:', rec['achieved_rate'], 'ops/s; p999', rec['latency_us_p999'], 'us')
+"
+  kill -TERM "$server_pid"
+  wait "$server_pid"
+  grep -q "condyn_server exit" "$serve_dir/server.log"
+  DC_SERVER_PORT=18432 DC_SERVER_VERTICES=4096 DC_SERVER_INFLIGHT=4 \
+    DC_INGEST_BATCH=4 DC_JOURNAL="$serve_dir/journal.dcjl" \
+    ./build/condyn_server > "$serve_dir/overload.log" &
+  server_pid=$!
+  for _ in $(seq 50); do
+    grep -q "listening" "$serve_dir/overload.log" && break; sleep 0.2
+  done
+  ./build/loadgen --port 18432 --trace "$serve_dir/serve.dctr" \
+    --rate 40000 --connections 8 --duration 5 --batch 8 \
+    --json "$serve_dir/overload.json"
+  python3 -c "
+import json
+rec = json.load(open('$serve_dir/overload.json'))['results'][0]
+assert rec['ops_shed'] > 0 and rec['ops_failed'] == 0 and rec['ops_acked'] > 0, rec
+print('overload ok: shed', rec['ops_shed'], 'acked', rec['ops_acked'])
+"
+  kill -TERM "$server_pid"
+  wait "$server_pid"
+  grep -q "condyn_server exit" "$serve_dir/overload.log"
+  rm -rf "$serve_dir"
 fi
 
 echo "check.sh: all green"

@@ -1,0 +1,286 @@
+#include "graph/wire.hpp"
+
+#include <stdexcept>
+
+namespace condyn::wire {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("wire: " + what);
+}
+
+// Varint/zigzag primitives over byte buffers — the buffer-based twins of the
+// iostream ones in io.cpp, with identical strictness (the codec is a
+// serialization of the same vocabulary, so it inherits the same rules).
+
+uint64_t zigzag_encode(int64_t v) noexcept {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t zigzag_decode(uint64_t z) noexcept {
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+void append_varint(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+/// Strict LEB128: EOF mid-varint and >10-byte runs both throw.
+uint64_t read_varint(std::span<const uint8_t> buf, std::size_t& pos) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    if (pos >= buf.size()) fail("truncated payload (varint cut short)");
+    const uint8_t byte = buf[pos++];
+    if (shift == 63 && (byte & 0x7e) != 0)
+      fail("corrupt payload: varint overflows 64 bits");
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  fail("corrupt payload: varint longer than 10 bytes");
+}
+
+/// Same wraparound-checked delta application as the trace readers: the sum
+/// is taken in uint64 so every out-of-range true sum wraps past num_vertices
+/// and one range check rejects them all without signed-overflow UB.
+Vertex apply_delta(Vertex base, int64_t delta, Vertex num_vertices,
+                   const char* which) {
+  const uint64_t v = base + static_cast<uint64_t>(delta);
+  if (v >= num_vertices)
+    fail(std::string("corrupt ops frame: ") + which +
+         " delta lands outside [0, " + std::to_string(num_vertices) + ")");
+  return static_cast<Vertex>(v);
+}
+
+void require_consumed(std::span<const uint8_t> payload, std::size_t pos,
+                      const char* what) {
+  if (pos != payload.size())
+    fail(std::string("corrupt ") + what +
+         ": payload continues past the declared content");
+}
+
+/// Reserve space for the u32 length prefix; patched by end_frame once the
+/// body size is known.
+std::size_t begin_frame(std::vector<uint8_t>& out, FrameType type) {
+  const std::size_t at = out.size();
+  out.insert(out.end(), {0, 0, 0, 0});
+  out.push_back(static_cast<uint8_t>(type));
+  return at;
+}
+
+void end_frame(std::vector<uint8_t>& out, std::size_t at) {
+  const uint64_t body = out.size() - at - 4;  // type byte + payload
+  if (body == 0 || body > kMaxFrameBytes) fail("frame body size out of range");
+  for (int i = 0; i < 4; ++i)
+    out[at + i] = static_cast<uint8_t>((body >> (8 * i)) & 0xff);
+}
+
+}  // namespace
+
+const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kBadFrame: return "bad-frame";
+    case Status::kShuttingDown: return "shutting-down";
+    case Status::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::optional<FrameView> try_frame(std::span<const uint8_t> buf) {
+  if (buf.size() < 4) return std::nullopt;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  // Hopeless headers are rejected before waiting for (or allocating) the
+  // body: a corrupt length would otherwise stall the connection forever or
+  // commit the server to buffering up to 4 GiB.
+  if (len == 0) fail("frame length 0");
+  if (len > kMaxFrameBytes)
+    fail("frame length " + std::to_string(len) + " exceeds the " +
+         std::to_string(kMaxFrameBytes) + "-byte bound");
+  if (buf.size() < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  const uint8_t type = buf[4];
+  if (type < static_cast<uint8_t>(FrameType::kOps) ||
+      type > static_cast<uint8_t>(FrameType::kStatusResponse))
+    fail("unknown frame type " + std::to_string(type));
+  FrameView f;
+  f.type = static_cast<FrameType>(type);
+  f.payload = buf.subspan(kHeaderBytes, len - 1);
+  f.frame_bytes = 4 + static_cast<std::size_t>(len);
+  return f;
+}
+
+void encode_ops_frame(std::span<const Op> ops, std::vector<uint8_t>& out) {
+  const std::size_t at = begin_frame(out, FrameType::kOps);
+  append_varint(out, ops.size());
+  Vertex prev_u = 0;
+  for (const Op& op : ops) {
+    const uint64_t du = zigzag_encode(static_cast<int64_t>(op.u) -
+                                      static_cast<int64_t>(prev_u));
+    append_varint(out, (du << 3) | static_cast<uint64_t>(op.kind));
+    append_varint(out, zigzag_encode(static_cast<int64_t>(op.v) -
+                                     static_cast<int64_t>(op.u)));
+    prev_u = op.u;
+  }
+  end_frame(out, at);
+}
+
+std::vector<Op> decode_ops(std::span<const uint8_t> payload,
+                           Vertex num_vertices) {
+  std::size_t pos = 0;
+  const uint64_t count = read_varint(payload, pos);
+  // Corrupt-count guard: each op costs at least 2 payload bytes, so a count
+  // past that bound can never be satisfied — reject before reserving.
+  if (count > (payload.size() - pos) / 2)
+    fail("corrupt ops frame: op count " + std::to_string(count) +
+         " exceeds what the payload can hold");
+  std::vector<Op> ops;
+  ops.reserve(count);
+  Vertex prev_u = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t tag = read_varint(payload, pos);
+    const auto kind = static_cast<unsigned>(tag & 0x7);
+    if (kind >= kNumOpKinds)
+      fail("corrupt ops frame: bad op kind " + std::to_string(kind));
+    Op op;
+    op.kind = static_cast<OpKind>(kind);
+    op.u = apply_delta(prev_u, zigzag_decode(tag >> 3), num_vertices, "u");
+    op.v = apply_delta(op.u, zigzag_decode(read_varint(payload, pos)),
+                       num_vertices, "v");
+    prev_u = op.u;
+    ops.push_back(op);
+  }
+  require_consumed(payload, pos, "ops frame");
+  return ops;
+}
+
+void encode_results_frame(Status s, std::span<const uint64_t> values,
+                          std::vector<uint8_t>& out) {
+  if (s != Status::kOk && !values.empty())
+    fail("non-ok results frame must carry zero values");
+  const std::size_t at = begin_frame(out, FrameType::kResults);
+  out.push_back(static_cast<uint8_t>(s));
+  append_varint(out, values.size());
+  for (const uint64_t v : values) append_varint(out, v);
+  end_frame(out, at);
+}
+
+Results decode_results(std::span<const uint8_t> payload) {
+  if (payload.empty()) fail("results frame missing status byte");
+  if (payload[0] > static_cast<uint8_t>(Status::kFailed))
+    fail("corrupt results frame: bad status " + std::to_string(payload[0]));
+  Results r;
+  r.status = static_cast<Status>(payload[0]);
+  std::size_t pos = 1;
+  const uint64_t count = read_varint(payload, pos);
+  // Each value is at least one payload byte.
+  if (count > payload.size() - pos)
+    fail("corrupt results frame: value count " + std::to_string(count) +
+         " exceeds what the payload can hold");
+  if (r.status != Status::kOk && count != 0)
+    fail("corrupt results frame: non-ok status with values");
+  r.values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i)
+    r.values.push_back(read_varint(payload, pos));
+  require_consumed(payload, pos, "results frame");
+  return r;
+}
+
+void encode_status_request(std::vector<uint8_t>& out) {
+  const std::size_t at = begin_frame(out, FrameType::kStatusRequest);
+  end_frame(out, at);
+}
+
+void check_status_request(std::span<const uint8_t> payload) {
+  if (!payload.empty()) fail("status request payload must be empty");
+}
+
+void encode_status_response(const StatusReport& r, std::vector<uint8_t>& out) {
+  const std::size_t at = begin_frame(out, FrameType::kStatusResponse);
+  append_varint(out, r.num_vertices);
+  append_varint(out, r.queue_depth);
+  append_varint(out, r.submitted);
+  append_varint(out, r.acked);
+  append_varint(out, r.dropped);
+  append_varint(out, r.shed_reads);
+  append_varint(out, r.failed);
+  append_varint(out, r.journal_errors);
+  append_varint(out, r.batches);
+  end_frame(out, at);
+}
+
+StatusReport decode_status_response(std::span<const uint8_t> payload) {
+  std::size_t pos = 0;
+  StatusReport r;
+  r.num_vertices = read_varint(payload, pos);
+  r.queue_depth = read_varint(payload, pos);
+  r.submitted = read_varint(payload, pos);
+  r.acked = read_varint(payload, pos);
+  r.dropped = read_varint(payload, pos);
+  r.shed_reads = read_varint(payload, pos);
+  r.failed = read_varint(payload, pos);
+  r.journal_errors = read_varint(payload, pos);
+  r.batches = read_varint(payload, pos);
+  require_consumed(payload, pos, "status response");
+  return r;
+}
+
+namespace {
+
+[[noreturn]] void roundtrip_fail(const char* what) {
+  throw std::logic_error(std::string("wire round-trip mismatch: ") + what);
+}
+
+/// Decode one frame's payload and re-encode it; a successful decode that
+/// does not round-trip bit-for-bit is a logic bug, reported distinctly from
+/// the (expected) strict-decode rejections.
+void decode_one(const FrameView& f, Vertex num_vertices) {
+  std::vector<uint8_t> re;
+  switch (f.type) {
+    case FrameType::kOps: {
+      const std::vector<Op> ops = decode_ops(f.payload, num_vertices);
+      encode_ops_frame(ops, re);
+      if (decode_ops(std::span(re).subspan(kHeaderBytes), num_vertices) != ops)
+        roundtrip_fail("ops");
+      break;
+    }
+    case FrameType::kResults: {
+      const Results r = decode_results(f.payload);
+      encode_results_frame(r.status, r.values, re);
+      if (!(decode_results(std::span(re).subspan(kHeaderBytes)) == r))
+        roundtrip_fail("results");
+      break;
+    }
+    case FrameType::kStatusRequest:
+      check_status_request(f.payload);
+      break;
+    case FrameType::kStatusResponse: {
+      const StatusReport r = decode_status_response(f.payload);
+      encode_status_response(r, re);
+      if (!(decode_status_response(std::span(re).subspan(kHeaderBytes)) == r))
+        roundtrip_fail("status response");
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t decode_any(std::span<const uint8_t> buf, Vertex num_vertices) {
+  std::size_t frames = 0;
+  while (!buf.empty()) {
+    const std::optional<FrameView> f = try_frame(buf);
+    if (!f) break;  // incomplete tail: fine for a stream, stop here
+    decode_one(*f, num_vertices);
+    buf = buf.subspan(f->frame_bytes);
+    ++frames;
+  }
+  return frames;
+}
+
+}  // namespace condyn::wire

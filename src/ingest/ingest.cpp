@@ -417,6 +417,9 @@ IngestStats IngestService::stats() const {
   s.journal_errors = journal_errors_.load(std::memory_order_relaxed);
   s.snapshots = snapshots_.load(std::memory_order_relaxed);
   s.applied_seq = applied_seq_.load(std::memory_order_relaxed);
+  // acked_ is read after submitted_ above, so it may have advanced past the
+  // submitted_ sample under concurrent draining — clamp instead of wrapping.
+  s.queue_depth = s.submitted > s.acked ? s.submitted - s.acked : 0;
   return s;
 }
 

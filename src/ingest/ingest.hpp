@@ -107,6 +107,12 @@ struct IngestStats {
   uint64_t journal_errors = 0;  ///< failed journal appends/flushes
   uint64_t snapshots = 0;
   uint64_t applied_seq = 0;   ///< journal seq of the last applied update
+  /// Ops accepted into the ring but not yet acknowledged — the backlog a
+  /// health probe reports (the server's status frame, DESIGN.md §12.3) and
+  /// the headroom signal admission control sheds against. Computed from the
+  /// submitted/acked counters at stats() time, saturating at 0 (the two are
+  /// sampled independently, so a racing reader could otherwise underflow).
+  uint64_t queue_depth = 0;
 };
 
 /// Group-commit ingest front-end over any DynamicConnectivity (DESIGN.md

@@ -1,0 +1,130 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace condyn::server {
+
+namespace {
+[[noreturn]] void fail_errno(const char* what) {
+  throw std::runtime_error(std::string("client: ") + what + ": " +
+                           std::strerror(errno));
+}
+}  // namespace
+
+BlockingClient::~BlockingClient() { close(); }
+
+void BlockingClient::connect(const std::string& host, uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) fail_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("client: bad host " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    close();
+    errno = saved;
+    fail_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  rbuf_.clear();
+  rpos_ = 0;
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void BlockingClient::send_raw(std::span<const uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void BlockingClient::send_ops(std::span<const Op> ops) {
+  scratch_.clear();
+  wire::encode_ops_frame(ops, scratch_);
+  send_raw(scratch_);
+}
+
+void BlockingClient::recv_frame(wire::FrameType& type,
+                                std::vector<uint8_t>& payload) {
+  for (;;) {
+    const std::span<const uint8_t> rest(rbuf_.data() + rpos_,
+                                        rbuf_.size() - rpos_);
+    if (const auto f = wire::try_frame(rest)) {
+      type = f->type;
+      payload.assign(f->payload.begin(), f->payload.end());
+      rpos_ += f->frame_bytes;
+      if (rpos_ == rbuf_.size()) {
+        rbuf_.clear();
+        rpos_ = 0;
+      }
+      return;
+    }
+    uint8_t tmp[16 * 1024];
+    const ssize_t n = ::read(fd_, tmp, sizeof tmp);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("read");
+    }
+    if (n == 0) throw std::runtime_error("client: connection closed by peer");
+    rbuf_.insert(rbuf_.end(), tmp, tmp + n);
+  }
+}
+
+wire::Results BlockingClient::recv_results() {
+  wire::FrameType type;
+  std::vector<uint8_t> payload;
+  recv_frame(type, payload);
+  if (type != wire::FrameType::kResults)
+    throw std::runtime_error("client: expected a results frame");
+  return wire::decode_results(payload);
+}
+
+wire::Results BlockingClient::call(std::span<const Op> ops) {
+  send_ops(ops);
+  return recv_results();
+}
+
+void BlockingClient::send_status_request() {
+  scratch_.clear();
+  wire::encode_status_request(scratch_);
+  send_raw(scratch_);
+}
+
+wire::StatusReport BlockingClient::recv_status() {
+  wire::FrameType type;
+  std::vector<uint8_t> payload;
+  recv_frame(type, payload);
+  if (type != wire::FrameType::kStatusResponse)
+    throw std::runtime_error("client: expected a status response");
+  return wire::decode_status_response(payload);
+}
+
+wire::StatusReport BlockingClient::status() {
+  send_status_request();
+  return recv_status();
+}
+
+}  // namespace condyn::server

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/dynamic_connectivity.hpp"
+#include "graph/wire.hpp"
+
+namespace condyn::server {
+
+/// Minimal blocking-socket client for the wire:: protocol — what the
+/// loopback tests and the load generator speak. One connection, strict
+/// in-order request/response (the protocol has no request IDs), so a
+/// pipelined caller must recv exactly one response per request, in send
+/// order. Not thread-safe per instance, but the split send_*/recv_results
+/// halves may be driven by one sender and one receiver thread: the fd is
+/// never mutated between connect() and close(), and kernel socket send/recv
+/// are independently serialized.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Connect to host:port (numeric IPv4). Throws std::runtime_error.
+  void connect(const std::string& host, uint16_t port);
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Synchronous round-trip: one ops frame out, its response in.
+  wire::Results call(std::span<const Op> ops);
+
+  /// Synchronous status probe.
+  wire::StatusReport status();
+
+  // -- Pipelined halves -----------------------------------------------------
+
+  /// Send an ops frame without waiting for the response.
+  void send_ops(std::span<const Op> ops);
+  /// Send pre-encoded frame bytes verbatim (tests inject malformed frames).
+  void send_raw(std::span<const uint8_t> bytes);
+
+  /// Send a status request without waiting for the response.
+  void send_status_request();
+
+  /// Block until the next response frame arrives; must be a results frame.
+  /// Throws std::runtime_error on EOF, socket error, or a non-results frame.
+  wire::Results recv_results();
+
+  /// Block until the next response frame arrives; must be a status response.
+  wire::StatusReport recv_status();
+
+ private:
+  /// Block until one whole frame is buffered; returns its decoded view's
+  /// byte extent consumed from the buffer via out params.
+  void recv_frame(wire::FrameType& type, std::vector<uint8_t>& payload);
+
+  int fd_ = -1;
+  std::vector<uint8_t> rbuf_;
+  std::size_t rpos_ = 0;
+  std::vector<uint8_t> scratch_;  ///< encode buffer, reused across sends
+};
+
+}  // namespace condyn::server

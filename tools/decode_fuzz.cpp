@@ -37,10 +37,15 @@
 
 #include "graph/io.hpp"
 #include "graph/snapshot.hpp"
+#include "graph/wire.hpp"
 
 namespace {
 
 using namespace condyn;
+
+/// Universe the wire ops decoder is checked against: vertex-range rejection
+/// needs a concrete num_vertices, and the server always supplies one.
+constexpr Vertex kWireUniverse = 1u << 20;
 
 /// Thrown by the round-trip checks; anything else escaping a decoder is
 /// equally a finding, but this one carries a human-readable diagnosis.
@@ -48,7 +53,8 @@ struct RoundTripError : std::logic_error {
   using std::logic_error::logic_error;
 };
 
-std::atomic<uint64_t> g_trace_ok{0}, g_snapshot_ok{0}, g_journal_ok{0};
+std::atomic<uint64_t> g_trace_ok{0}, g_snapshot_ok{0}, g_journal_ok{0},
+    g_wire_ok{0};
 
 void check_trace(const std::string& buf) {
   io::Trace t;
@@ -105,11 +111,26 @@ void check_journal(const std::string& buf) {
     throw RoundTripError("journal decode -> encode -> decode mismatch");
 }
 
+void check_wire(const std::string& buf) {
+  std::size_t frames = 0;
+  try {
+    frames = wire::decode_any(
+        std::span(reinterpret_cast<const uint8_t*>(buf.data()), buf.size()),
+        kWireUniverse);
+  } catch (const std::runtime_error&) {
+    return;  // strict rejection is the expected outcome
+  }
+  // decode_any's internal round-trip checks throw std::logic_error, which
+  // deliberately escapes past the catch above and is reported as a finding.
+  g_wire_ok.fetch_add(frames, std::memory_order_relaxed);
+}
+
 void one_input(const uint8_t* data, std::size_t size) {
   const std::string buf(reinterpret_cast<const char*>(data), size);
   check_trace(buf);
   check_snapshot(buf);
   check_journal(buf);
+  check_wire(buf);
 }
 
 }  // namespace
@@ -165,6 +186,30 @@ std::string encode_snapshot() {
   std::ostringstream out;
   io::save_snapshot(io::make_snapshot(57, 32, std::move(live)), out);
   return out.str();
+}
+
+/// A multi-frame wire buffer: one ops frame covering every kind, a results
+/// frame, a status probe and its response — decode_any walks them all.
+std::string encode_wire() {
+  std::vector<uint8_t> out;
+  std::vector<Op> ops;
+  for (Vertex v = 1; v < 12; ++v) ops.push_back(Op::add(0, v));
+  ops.push_back(Op::remove(0, 5));
+  ops.push_back(Op::connected(1, 2));
+  ops.push_back(Op::component_size(3));
+  ops.push_back(Op::representative(4));
+  wire::encode_ops_frame(ops, out);
+  const std::vector<uint64_t> values = {1, 0, 17, 3, 0};
+  wire::encode_results_frame(wire::Status::kOk, values, out);
+  wire::encode_status_request(out);
+  wire::StatusReport st;
+  st.num_vertices = kWireUniverse;
+  st.queue_depth = 3;
+  st.submitted = 1000;
+  st.acked = 997;
+  st.batches = 12;
+  wire::encode_status_response(st, out);
+  return std::string(reinterpret_cast<const char*>(out.data()), out.size());
 }
 
 std::string encode_journal() {
@@ -228,13 +273,14 @@ int fuzz_main(int argc, char** argv) {
       encode_trace(io::kTraceVersionV3, true),
       encode_snapshot(),
       encode_journal(),
+      encode_wire(),
   };
   // The unmutated corpus must decode: a harness that only ever feeds its
   // decoders garbage fuzzes the error paths and nothing else.
   for (const std::string& c : corpus)
     one_input(reinterpret_cast<const uint8_t*>(c.data()), c.size());
   if (g_trace_ok.load() < 3 || g_snapshot_ok.load() < 1 ||
-      g_journal_ok.load() < 1) {
+      g_journal_ok.load() < 1 || g_wire_ok.load() < 4) {
     std::fprintf(stderr, "decode_fuzz: seed corpus failed to decode\n");
     return 1;
   }
@@ -246,8 +292,8 @@ int fuzz_main(int argc, char** argv) {
   int crashes = 0;
   while (std::clock() - start < budget) {
     g_current = mutate(corpus[rng() % corpus.size()], rng);
-    const uint64_t ok_before =
-        g_trace_ok.load() + g_snapshot_ok.load() + g_journal_ok.load();
+    const uint64_t ok_before = g_trace_ok.load() + g_snapshot_ok.load() +
+                               g_journal_ok.load() + g_wire_ok.load();
     try {
       one_input(reinterpret_cast<const uint8_t*>(g_current.data()),
                 g_current.size());
@@ -256,8 +302,8 @@ int fuzz_main(int argc, char** argv) {
       // one edit away from a pristine seed. Never overwrite the seeds —
       // replacing them with rejected garbage degenerates the corpus until
       // only the error paths are exercised.
-      const uint64_t ok_after =
-          g_trace_ok.load() + g_snapshot_ok.load() + g_journal_ok.load();
+      const uint64_t ok_after = g_trace_ok.load() + g_snapshot_ok.load() +
+                                g_journal_ok.load() + g_wire_ok.load();
       if (ok_after > ok_before && corpus.size() < 64 &&
           g_current.size() < (1u << 16))
         corpus.push_back(g_current);
@@ -276,13 +322,14 @@ int fuzz_main(int argc, char** argv) {
 
   std::printf(
       "decode_fuzz: %llu inputs in %.1fs (seed %llu): trace ok %llu, "
-      "snapshot ok %llu, journal ok %llu, findings %d\n",
+      "snapshot ok %llu, journal ok %llu, wire frames ok %llu, findings %d\n",
       static_cast<unsigned long long>(iterations),
       static_cast<double>(std::clock() - start) / CLOCKS_PER_SEC,
       static_cast<unsigned long long>(seed),
       static_cast<unsigned long long>(g_trace_ok.load()),
       static_cast<unsigned long long>(g_snapshot_ok.load()),
-      static_cast<unsigned long long>(g_journal_ok.load()), crashes);
+      static_cast<unsigned long long>(g_journal_ok.load()),
+      static_cast<unsigned long long>(g_wire_ok.load()), crashes);
   return crashes == 0 ? 0 : 1;
 }
 
